@@ -1,0 +1,128 @@
+// Command datagen materializes synthetic datasets: either as a JSON
+// manifest (for xferd's synthetic store and repeatable experiments) or
+// as real files on disk (for xferd -root and disk-bound benchmarking).
+// On-disk content matches the protocol's deterministic generator, so a
+// -verify client can check transfers from a datagen tree end to end.
+//
+// Usage:
+//
+//	datagen -total 10GB -min 3MB -max 1GB -manifest dataset.json
+//	datagen -total 1GB -min 1MB -max 64MB -dir /data
+//	datagen -count 5000 -min 1MB -max 10GB -pareto 1.2 -manifest heavy.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/didclab/eta/internal/cliutil"
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/proto"
+	"github.com/didclab/eta/internal/units"
+)
+
+func main() {
+	total := flag.String("total", "", "total dataset size for the mixed generator (e.g. 10GB)")
+	count := flag.Int("count", 0, "file count for the Pareto generator")
+	minSize := flag.String("min", "3MB", "minimum file size")
+	maxSize := flag.String("max", "1GB", "maximum file size")
+	pareto := flag.Float64("pareto", 0, "Pareto tail index; 0 uses the log-uniform mixed generator")
+	seed := flag.Int64("seed", 1, "generator seed")
+	manifest := flag.String("manifest", "", "write a JSON manifest to this path")
+	dir := flag.String("dir", "", "materialize real files under this directory")
+	name := flag.String("name", "synthetic", "workload name recorded in the manifest")
+	flag.Parse()
+
+	if err := run(*total, *count, *minSize, *maxSize, *pareto, *seed, *manifest, *dir, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(totalStr string, count int, minStr, maxStr string, pareto float64,
+	seed int64, manifestPath, dir, name string) error {
+	min, err := cliutil.ParseSize(minStr)
+	if err != nil {
+		return err
+	}
+	max, err := cliutil.ParseSize(maxStr)
+	if err != nil {
+		return err
+	}
+
+	g := dataset.NewGenerator(seed)
+	var ds dataset.Dataset
+	switch {
+	case pareto > 0 && count > 0:
+		ds = g.Pareto(count, min, max, pareto)
+	case totalStr != "":
+		total, err := cliutil.ParseSize(totalStr)
+		if err != nil {
+			return err
+		}
+		ds = g.Mixed(total, min, max)
+	default:
+		return fmt.Errorf("need -total (mixed) or -count with -pareto")
+	}
+	st := dataset.ComputeStats(ds)
+	log.Printf("generated %d files, %v total (median %v, p90 %v, gini %.2f)",
+		st.Count, st.Total, st.Median, st.P90, st.GiniBytes)
+
+	if manifestPath == "" && dir == "" {
+		return fmt.Errorf("nothing to do: pass -manifest and/or -dir")
+	}
+	if manifestPath != "" {
+		f, err := os.Create(manifestPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteManifest(f, dataset.ToManifest(name, seed, ds)); err != nil {
+			return err
+		}
+		log.Printf("wrote manifest %s", manifestPath)
+	}
+	if dir != "" {
+		if err := materialize(dir, ds); err != nil {
+			return err
+		}
+		log.Printf("materialized %d files under %s", ds.Count(), dir)
+	}
+	return nil
+}
+
+// materialize writes each file's canonical synthetic content to disk in
+// 1 MiB slabs.
+func materialize(dir string, ds dataset.Dataset) error {
+	buf := make([]byte, 1<<20)
+	for _, file := range ds.Files {
+		path := filepath.Join(dir, filepath.FromSlash(file.Name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		var off units.Bytes
+		for off < file.Size {
+			n := units.Bytes(len(buf))
+			if file.Size-off < n {
+				n = file.Size - off
+			}
+			proto.FillSynth(file.Name, int64(off), buf[:n])
+			if _, err := f.Write(buf[:n]); err != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			off += n
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

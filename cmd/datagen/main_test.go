@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/proto"
+)
+
+func TestRunWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "m.json")
+	if err := run("2MB", 0, "100KB", "500KB", 0, 7, manifest, "", "unit"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := dataset.ReadManifest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "unit" || m.Seed != 7 || len(m.Files) == 0 {
+		t.Errorf("manifest wrong: %+v", m)
+	}
+}
+
+func TestRunMaterializesVerifiableFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("600KB", 0, "100KB", "200KB", 0, 3, "", dir, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no files materialized")
+	}
+	// On-disk content must match the protocol's canonical generator.
+	name := entries[0].Name()
+	got, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, len(got))
+	proto.FillSynth(name, 0, want)
+	if !bytes.Equal(got, want) {
+		t.Error("materialized content does not match FillSynth")
+	}
+}
+
+func TestRunPareto(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "p.json")
+	if err := run("", 50, "100KB", "10MB", 1.2, 1, manifest, "", "heavy"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := dataset.ReadManifest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Files) != 50 {
+		t.Errorf("pareto manifest has %d files, want 50", len(m.Files))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, "1MB", "2MB", 0, 1, "x", "", "n"); err == nil {
+		t.Error("missing generator config accepted")
+	}
+	if err := run("1MB", 0, "1MB", "2MB", 0, 1, "", "", "n"); err == nil {
+		t.Error("no output target accepted")
+	}
+	if err := run("junk", 0, "1MB", "2MB", 0, 1, "x", "", "n"); err == nil {
+		t.Error("bad total accepted")
+	}
+}

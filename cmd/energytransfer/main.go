@@ -1,0 +1,242 @@
+// Command energytransfer is the client CLI: it moves a remote server's
+// dataset using one of the energy-aware algorithms (or a baseline) over
+// the real-TCP stack, reporting throughput and estimated energy. Energy
+// comes from hardware RAPL counters when the host exposes them, else
+// from the paper's fine-grained power model over procfs utilization.
+//
+// Usage:
+//
+//	energytransfer -server host:7632 -algo htee -max-channels 8 -out /dst
+//	energytransfer -server host:7632 -algo slaee -sla 0.9 -max-mbps 900 -verify
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/didclab/eta/internal/cliutil"
+	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/monitor"
+	"github.com/didclab/eta/internal/netem"
+	"github.com/didclab/eta/internal/power"
+	"github.com/didclab/eta/internal/proto"
+	"github.com/didclab/eta/internal/trace"
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7632", "xferd address")
+	algo := flag.String("algo", "htee", "algorithm: mine|htee|slaee|guc|go|sc|promc|bf")
+	maxChannels := flag.Int("max-channels", 8, "concurrency budget")
+	sla := flag.Float64("sla", 0.9, "SLAEE throughput target as a fraction of -max-mbps")
+	maxMbps := flag.Float64("max-mbps", 0, "SLAEE: maximum achievable throughput in Mbps (required for slaee)")
+	out := flag.String("out", "", "write received files into this directory")
+	verify := flag.Bool("verify", false, "discard payload, verify against synthetic content")
+	resume := flag.Bool("resume", false, "skip bytes already present under -out")
+	checksum := flag.Bool("checksum", false, "verify each file's CRC-32C against the server's")
+	retries := flag.Int("retries", 3, "re-attempts per file after transport failures")
+	bw := flag.String("bandwidth", "1gbps", "assumed path bandwidth (BDP input)")
+	rtt := flag.Duration("rtt", 10*time.Millisecond, "assumed path RTT (BDP input)")
+	buf := flag.String("buffer", "32MB", "assumed max TCP buffer (parallelism input)")
+	samplesOut := flag.String("samples", "", "write the 5s sample timeline to this CSV file")
+	flag.Parse()
+
+	opts := options{
+		server: *server, algo: *algo, maxChannels: *maxChannels,
+		sla: *sla, maxMbps: *maxMbps, out: *out, verify: *verify,
+		resume: *resume, checksum: *checksum, retries: *retries,
+		bw: *bw, rtt: *rtt, buf: *buf, samplesOut: *samplesOut,
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "energytransfer:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed command line.
+type options struct {
+	server, algo        string
+	maxChannels         int
+	sla, maxMbps        float64
+	out                 string
+	verify, resume      bool
+	checksum            bool
+	retries             int
+	bw, buf, samplesOut string
+	rtt                 time.Duration
+}
+
+func run(o options) error {
+	bandwidth, err := cliutil.ParseRate(o.bw)
+	if err != nil {
+		return err
+	}
+	bufSize, err := cliutil.ParseSize(o.buf)
+	if err != nil {
+		return err
+	}
+
+	var sink proto.Sink
+	switch {
+	case o.verify && o.out != "":
+		return fmt.Errorf("-out and -verify are mutually exclusive")
+	case o.verify:
+		sink = proto.NewVerifySink()
+	case o.out != "":
+		sink = proto.NewDirSink(o.out)
+	default:
+		return fmt.Errorf("one of -out or -verify is required")
+	}
+	if o.resume && o.out == "" {
+		return fmt.Errorf("-resume needs -out")
+	}
+
+	client := &proto.Client{Addr: o.server, Counters: &proto.Counters{}, VerifyChecksums: o.checksum}
+	files, err := client.List()
+	if err != nil {
+		return fmt.Errorf("listing %s: %w", o.server, err)
+	}
+	ds := dataset.Dataset{Files: files}
+	log.Printf("dataset: %d files, %v", ds.Count(), ds.TotalSize())
+
+	var resumeOffsets map[string]units.Bytes
+	if o.resume {
+		ranges, skipped, err := proto.ResumeRanges(o.out, files)
+		if err != nil {
+			return fmt.Errorf("planning resume: %w", err)
+		}
+		// Every file starts presumed complete; the planned ranges then
+		// record what still needs moving. Files absent from the plan
+		// keep their full-size offset and are skipped entirely.
+		resumeOffsets = make(map[string]units.Bytes, ds.Count())
+		for _, f := range files {
+			resumeOffsets[f.Name] = f.Size
+		}
+		partial := 0
+		for _, r := range ranges {
+			resumeOffsets[r.File.Name] = r.Offset
+			if r.Offset > 0 {
+				partial++
+			}
+		}
+		complete := ds.Count() - len(ranges)
+		log.Printf("resume: %v already present (%d files complete, %d partial)",
+			skipped, complete, partial)
+	}
+
+	localModel := power.FineGrained{Coeff: power.Coefficients{
+		CPU: power.PaperCPUQuad, Mem: 0.11, Disk: 0.08, NIC: 0.2,
+	}}
+	hostModel := monitor.LocalServerModel(runtime.NumCPU(), bandwidth, 0)
+	energy, usedRAPL, err := monitor.AutoSource(monitor.Monitor{}, hostModel, localModel)
+	if err != nil {
+		return fmt.Errorf("setting up energy estimation: %w", err)
+	}
+	if usedRAPL {
+		log.Print("energy: hardware RAPL counters")
+	} else {
+		log.Print("energy: fine-grained model over procfs utilization")
+	}
+
+	exec := &proto.Executor{
+		Client: client,
+		Sink:   sink,
+		Energy: energy,
+		Environment: transfer.Environment{
+			Path: netem.Path{
+				Bandwidth:       bandwidth,
+				RTT:             o.rtt,
+				MaxTCPBuffer:    bufSize,
+				EffStreamBuffer: bufSize / 8,
+			},
+			MaxChannels:    o.maxChannels,
+			ServersPerSite: 1,
+		},
+		ResumeOffsets: resumeOffsets,
+		MaxRetries:    o.retries,
+		Label:         strings.ToUpper(o.algo),
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var report transfer.Report
+	switch strings.ToLower(o.algo) {
+	case "mine":
+		report, err = core.MinE(ctx, exec, ds, o.maxChannels)
+	case "htee":
+		var res core.HTEEResult
+		res, err = core.HTEE(ctx, exec, ds, o.maxChannels)
+		if err == nil {
+			log.Printf("HTEE settled on concurrency %d", res.ChosenConcurrency)
+			report = res.Report
+		}
+	case "slaee":
+		if o.maxMbps <= 0 {
+			return fmt.Errorf("slaee needs -max-mbps (the reference maximum throughput)")
+		}
+		var res core.SLAResult
+		res, err = core.SLAEE(ctx, exec, ds, units.Rate(o.maxMbps)*units.Mbps, o.sla, o.maxChannels)
+		if err == nil {
+			log.Printf("SLAEE target %v, deviation %+.1f%%, final concurrency %d",
+				res.Target, res.Deviation(), res.FinalConcurrency)
+			report = res.Report
+		}
+	case "guc":
+		report, err = core.GUC(ctx, exec, ds, core.GUCOptions{})
+	case "go":
+		report, err = core.GO(ctx, exec, ds)
+	case "sc":
+		report, err = core.SC(ctx, exec, ds, o.maxChannels)
+	case "promc":
+		report, err = core.ProMC(ctx, exec, ds, o.maxChannels)
+	case "bf":
+		var res core.BFResult
+		res, err = core.BF(ctx, exec, ds, o.maxChannels)
+		if err == nil {
+			log.Printf("brute force best concurrency: %d", res.Best)
+			report = res.BestReport()
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", o.algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %v in %v → %v, energy %v (avg %v)\n",
+		report.Algorithm, report.Bytes, time.Since(start).Round(time.Millisecond),
+		report.Throughput, report.EndSystemEnergy, report.AvgPower)
+	if v, ok := sink.(*proto.VerifySink); ok {
+		if bad := v.Corrupt(); len(bad) > 0 {
+			return fmt.Errorf("integrity check failed for %d ranges: %v", len(bad), bad[:minI(3, len(bad))])
+		}
+		fmt.Println("integrity: all payload bytes verified")
+	}
+	if o.samplesOut != "" {
+		f, err := os.Create(o.samplesOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, report.Samples); err != nil {
+			return err
+		}
+		log.Printf("samples: wrote %d windows to %s", len(report.Samples), o.samplesOut)
+	}
+	return nil
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFullDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole evaluation")
+	}
+	out := t.TempDir()
+	if err := run(out, 20150615, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"summary.md",
+		"sweep_xsede.csv", "sweep_futuregrid.csv", "sweep_didclab.csv",
+		"sla_xsede.csv", "sla_futuregrid.csv", "sla_didclab.csv",
+		filepath.Join("figures", "fig8_rate_power.svg"),
+		filepath.Join("figures", "sweep_xsede_throughput.svg"),
+	} {
+		if _, err := os.Stat(filepath.Join(out, want)); err != nil {
+			t.Errorf("missing output %s: %v", want, err)
+		}
+	}
+}
+
+func TestRunUnknownTestbed(t *testing.T) {
+	if err := run(t.TempDir(), 1, "Mars"); err == nil {
+		t.Error("unknown testbed accepted")
+	}
+}

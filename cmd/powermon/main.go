@@ -1,0 +1,120 @@
+// Command powermon prints this host's live component utilization and
+// the power predicted by the paper's fine-grained model (§2.2), plus
+// hardware RAPL readings where available — a tiny standalone version of
+// the measurement layer the transfer algorithms rely on.
+//
+// Usage:
+//
+//	powermon [-interval 2s] [-count 10] [-nic 1gbps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/didclab/eta/internal/cliutil"
+	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/monitor"
+	"github.com/didclab/eta/internal/power"
+	"github.com/didclab/eta/internal/units"
+)
+
+func main() {
+	interval := flag.Duration("interval", 2*time.Second, "sampling interval")
+	count := flag.Int("count", 0, "number of samples (0 = run forever)")
+	nic := flag.String("nic", "10gbps", "NIC line rate for utilization scaling")
+	flag.Parse()
+
+	if err := run(*interval, *count, *nic); err != nil {
+		fmt.Fprintln(os.Stderr, "powermon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(interval time.Duration, count int, nicStr string) error {
+	nicRate, err := cliutil.ParseRate(nicStr)
+	if err != nil {
+		return err
+	}
+	mon := monitor.Monitor{}
+	server := monitor.LocalServerModel(runtime.NumCPU(), nicRate, 0)
+	model := power.FineGrained{Coeff: power.Coefficients{
+		CPU: power.PaperCPUQuad, Mem: 0.11, Disk: 0.08, NIC: 0.2,
+	}}
+
+	rapl, haveRAPL, err := monitor.OpenRAPL(mon)
+	if err != nil {
+		return err
+	}
+	var lastRAPL units.Joules
+	if haveRAPL {
+		if lastRAPL, err = rapl.Total(); err != nil {
+			haveRAPL = false
+		}
+	}
+
+	prevCPU, err := mon.ReadCPU()
+	if err != nil {
+		return err
+	}
+	prevNet, err := mon.ReadNet("")
+	if err != nil {
+		return err
+	}
+	prevDisk, err := mon.ReadDisk()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-8s %6s %6s %6s %9s %10s", "time", "cpu%", "nic%", "disk%", "model(W)", "net(Mbps)")
+	if haveRAPL {
+		fmt.Printf(" %9s", "rapl(W)")
+	}
+	fmt.Println()
+
+	for i := 0; count == 0 || i < count; i++ {
+		time.Sleep(interval)
+		cpu, err := mon.ReadCPU()
+		if err != nil {
+			return err
+		}
+		net, err := mon.ReadNet("")
+		if err != nil {
+			return err
+		}
+		disk, err := mon.ReadDisk()
+		if err != nil {
+			return err
+		}
+		moved := float64(net.RxBytes - prevNet.RxBytes)
+		if tx := float64(net.TxBytes - prevNet.TxBytes); tx > moved {
+			moved = tx
+		}
+		netRate := units.Rate(moved * 8 / interval.Seconds())
+		sectors := float64(disk.SectorsRead-prevDisk.SectorsRead) +
+			float64(disk.SectorsWritten-prevDisk.SectorsWritten)
+		u := endsys.Utilization{
+			CPU:  monitor.CPUUtil(prevCPU, cpu),
+			NIC:  float64(netRate) / float64(server.NICRate) * 100,
+			Disk: sectors * 512 * 8 / interval.Seconds() / float64(server.Disk.MaxRate()) * 100,
+		}
+		u.Mem = u.NIC / 4
+		u = u.Clamp()
+		watts := model.Power(u, 1)
+
+		fmt.Printf("%-8s %6.1f %6.1f %6.1f %9.2f %10.1f",
+			time.Now().Format("15:04:05"), u.CPU, u.NIC, u.Disk, float64(watts), netRate.Mbit())
+		if haveRAPL {
+			if total, err := rapl.Total(); err == nil {
+				fmt.Printf(" %9.2f", float64(total-lastRAPL)/interval.Seconds())
+				lastRAPL = total
+			}
+		}
+		fmt.Println()
+		prevCPU, prevNet, prevDisk = cpu, net, disk
+	}
+	return nil
+}

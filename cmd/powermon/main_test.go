@@ -1,0 +1,19 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestRunOneSample(t *testing.T) {
+	if _, err := os.Stat("/proc/stat"); err != nil {
+		t.Skip("no procfs on this host")
+	}
+	if err := run(30*time.Millisecond, 1, "1gbps"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(time.Millisecond, 1, "junk"); err == nil {
+		t.Error("bad NIC rate accepted")
+	}
+}

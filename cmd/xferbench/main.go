@@ -1,0 +1,164 @@
+// Command xferbench sweeps the three protocol parameters against a
+// live server and prints a throughput table — the measurement
+// methodology behind the paper's tuning decisions, runnable on any pair
+// of hosts (or loopback with xferd's shaping).
+//
+// Usage:
+//
+//	xferbench -server host:7632 -sweep concurrency -values 1,2,4,8
+//	xferbench -server host:7632 -sweep parallelism -values 1,2,4 -per-point 30MB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/didclab/eta/internal/cliutil"
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/proto"
+	"github.com/didclab/eta/internal/units"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7632", "xferd address")
+	sweep := flag.String("sweep", "concurrency", "parameter to sweep: concurrency|parallelism|pipelining")
+	valuesStr := flag.String("values", "1,2,4,8", "comma-separated parameter values")
+	perPoint := flag.String("per-point", "64MB", "payload per sweep point")
+	concurrency := flag.Int("concurrency", 1, "fixed concurrency when sweeping another parameter")
+	parallelism := flag.Int("parallelism", 1, "fixed parallelism when sweeping another parameter")
+	pipelining := flag.Int("pipelining", 2, "fixed pipelining when sweeping another parameter")
+	flag.Parse()
+
+	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining); err != nil {
+		fmt.Fprintln(os.Stderr, "xferbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int) error {
+	values, err := parseValues(valuesStr)
+	if err != nil {
+		return err
+	}
+	perPoint, err := cliutil.ParseSize(perPointStr)
+	if err != nil {
+		return err
+	}
+
+	client := &proto.Client{Addr: server}
+	files, err := client.List()
+	if err != nil {
+		return fmt.Errorf("listing %s: %w", server, err)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("server has no files")
+	}
+
+	fmt.Printf("sweeping %s over %v (payload ≈%v per point; fixed cc=%d par=%d q=%d)\n\n",
+		sweep, values, perPoint, conc, par, pipe)
+	fmt.Printf("%12s %12s %10s %10s\n", sweep, "throughput", "duration", "files")
+	for _, v := range values {
+		c, p, q := conc, par, pipe
+		switch sweep {
+		case "concurrency":
+			c = v
+		case "parallelism":
+			p = v
+		case "pipelining":
+			q = v
+		default:
+			return fmt.Errorf("unknown sweep parameter %q", sweep)
+		}
+		if c < 1 || p < 1 || q < 1 {
+			return fmt.Errorf("parameters must be ≥1")
+		}
+		thr, dur, n, err := measure(client, files, perPoint, c, p, q)
+		if err != nil {
+			return fmt.Errorf("%s=%d: %w", sweep, v, err)
+		}
+		fmt.Printf("%12d %12s %10s %10d\n", v, thr, dur.Round(time.Millisecond), n)
+	}
+	return nil
+}
+
+func parseValues(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad sweep value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sweep values")
+	}
+	return out, nil
+}
+
+// measure transfers ≈perPoint bytes at the given parameters, splitting
+// the file list round-robin across `conc` channels.
+func measure(client *proto.Client, files []dataset.File, perPoint units.Bytes, conc, par, pipe int) (units.Rate, time.Duration, int, error) {
+	var chosen []dataset.File
+	var total units.Bytes
+	for i := 0; total < perPoint; i++ {
+		f := files[i%len(files)]
+		if i >= len(files) {
+			// Wrapped: reuse content under a distinct request (same
+			// name is fine — requests are independent).
+			f = files[i%len(files)]
+		}
+		chosen = append(chosen, f)
+		total += f.Size
+	}
+
+	parts := make([][]dataset.File, conc)
+	for i, f := range chosen {
+		parts[i%conc] = append(parts[i%conc], f)
+	}
+
+	type result struct {
+		res proto.FetchResult
+		err error
+	}
+	results := make(chan result, conc)
+	start := time.Now()
+	for _, part := range parts {
+		go func(part []dataset.File) {
+			if len(part) == 0 {
+				results <- result{}
+				return
+			}
+			ch, err := client.OpenChannel(par)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer ch.Close()
+			res, err := ch.Fetch(part, pipe, discard{})
+			results <- result{res: res, err: err}
+		}(part)
+	}
+	var moved units.Bytes
+	var count int
+	for i := 0; i < conc; i++ {
+		r := <-results
+		if r.err != nil {
+			return 0, 0, 0, r.err
+		}
+		moved += r.res.Bytes
+		count += r.res.Files
+	}
+	dur := time.Since(start)
+	return units.RateOf(moved, dur), dur, count, nil
+}
+
+// discard drops payload; xferbench measures the wire, not the disk.
+type discard struct{}
+
+func (discard) WriteAt(_ string, p []byte, _ int64) (int, error) { return len(p), nil }
+func (discard) Close(string) error                               { return nil }

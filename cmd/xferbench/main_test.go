@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/proto"
+	"github.com/didclab/eta/internal/units"
+)
+
+func TestParseValues(t *testing.T) {
+	got, err := parseValues("1, 2,4")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Errorf("parseValues = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "0", "-1", "1,,2"} {
+		if _, err := parseValues(bad); err == nil {
+			t.Errorf("parseValues(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMeasureAgainstServer(t *testing.T) {
+	ds := dataset.NewGenerator(1).Uniform(10, 300*units.KB)
+	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &proto.Client{Addr: srv.Addr()}
+	files, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, dur, n, err := measure(client, files, 1*units.MB, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 0 || dur <= 0 || n < 4 {
+		t.Errorf("measure = %v, %v, %d", thr, dur, n)
+	}
+}
+
+func TestRunSweepTable(t *testing.T) {
+	ds := dataset.NewGenerator(2).Uniform(6, 200*units.KB)
+	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := run(srv.Addr(), "concurrency", "1,2", "400KB", 1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(srv.Addr(), "bogus", "1", "400KB", 1, 1, 2); err == nil {
+		t.Error("unknown sweep parameter accepted")
+	}
+	if err := run("127.0.0.1:1", "concurrency", "1", "400KB", 1, 1, 2); err == nil {
+		t.Error("dead server accepted")
+	}
+}

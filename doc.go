@@ -1,0 +1,24 @@
+// Package eta is a from-scratch reproduction of "Energy-Aware Data
+// Transfer Algorithms" (Alan, Arslan, Kosar — SC 2015): the MinE, HTEE
+// and SLAEE application-layer transfer algorithms, the baselines they
+// are evaluated against, the end-system and network-device power models
+// they rely on, a simulated version of the paper's three testbeds, and
+// a real-TCP GridFTP-like protocol stack the same algorithms can drive.
+//
+// The public surface of this repository is its commands and examples;
+// the library lives under internal/ and is organized as:
+//
+//   - internal/core — MinE, HTEE, SLAEE + GUC/GO/SC/ProMC/BF baselines
+//   - internal/transfer — the executor contract and the simulator
+//   - internal/proto — the real-TCP protocol (server, client, executor)
+//   - internal/power, internal/netpower — Eq. 1–5 power models
+//   - internal/testbed, internal/netem, internal/endsys — environments
+//   - internal/experiments — one runner per paper figure/table
+//   - internal/monitor — procfs/RAPL measurement for real transfers
+//
+// See README.md for usage and EXPERIMENTS.md for the paper-vs-measured
+// record of every reproduced figure.
+package eta
+
+// Version identifies this release of the reproduction.
+const Version = "1.0.0"

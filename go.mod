@@ -1,0 +1,3 @@
+module github.com/didclab/eta
+
+go 1.22

@@ -1,0 +1,64 @@
+// Package cliutil holds the small parsing helpers shared by the
+// command-line tools: human-friendly byte sizes ("160GB") and data
+// rates ("800mbps").
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// ParseSize reads "64MB"-style byte sizes (decimal units).
+func ParseSize(s string) (units.Bytes, error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, fmt.Errorf("cliutil: empty size")
+	}
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := units.Bytes(1)
+	for _, suffix := range []struct {
+		tag string
+		m   units.Bytes
+	}{{"TB", units.TB}, {"GB", units.GB}, {"MB", units.MB}, {"KB", units.KB}, {"B", 1}} {
+		if strings.HasSuffix(u, suffix.tag) {
+			mult = suffix.m
+			u = strings.TrimSuffix(u, suffix.tag)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(u), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("cliutil: bad size %q", s)
+	}
+	return units.Bytes(v * float64(mult)), nil
+}
+
+// ParseRate reads "800mbps"-style data rates; the empty string parses
+// to zero (callers treat that as unlimited).
+func ParseRate(s string) (units.Rate, error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, nil
+	}
+	u := strings.ToLower(strings.TrimSpace(s))
+	mult := units.Bps
+	matched := false
+	for _, suffix := range []struct {
+		tag string
+		m   units.Rate
+	}{{"gbps", units.Gbps}, {"mbps", units.Mbps}, {"kbps", units.Kbps}, {"bps", units.Bps}} {
+		if strings.HasSuffix(u, suffix.tag) {
+			mult = suffix.m
+			u = strings.TrimSuffix(u, suffix.tag)
+			matched = true
+			break
+		}
+	}
+	_ = matched
+	v, err := strconv.ParseFloat(strings.TrimSpace(u), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("cliutil: bad rate %q", s)
+	}
+	return units.Rate(v) * mult, nil
+}

@@ -1,0 +1,38 @@
+package cliutil
+
+import (
+	"testing"
+)
+
+func FuzzParseSize(f *testing.F) {
+	f.Add("160GB")
+	f.Add("3mb")
+	f.Add("-1KB")
+	f.Add("")
+	f.Add("1.5TB")
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := ParseSize(input)
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			t.Fatalf("ParseSize(%q) accepted a negative size %d", input, v)
+		}
+	})
+}
+
+func FuzzParseRate(f *testing.F) {
+	f.Add("10gbps")
+	f.Add("800Mbps")
+	f.Add("bogus")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := ParseRate(input)
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			t.Fatalf("ParseRate(%q) accepted a negative rate %v", input, v)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/testbed"
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// labBed is the fastest simulated environment for unit tests.
+func labBed() testbed.Testbed { return testbed.DIDCLAB() }
+
+func labData() (testbed.Testbed, *transfer.Sim) {
+	tb := labBed()
+	tb.DatasetSize = 2 * units.GB // keep unit tests quick
+	return tb, transfer.NewSim(tb)
+}
+
+func TestGUCRuns(t *testing.T) {
+	tb, sim := labData()
+	ds := tb.Dataset(1)
+	r, err := GUC(context.Background(), sim, ds, GUCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != NameGUC {
+		t.Errorf("algorithm label = %q", r.Algorithm)
+	}
+	if diff := int64(r.Bytes) - int64(ds.TotalSize()); diff > 10 || diff < -10 {
+		t.Errorf("GUC moved %v of %v", r.Bytes, ds.TotalSize())
+	}
+}
+
+func TestGORuns(t *testing.T) {
+	tb, sim := labData()
+	ds := tb.Dataset(2)
+	r, err := GO(context.Background(), sim, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != NameGO {
+		t.Errorf("algorithm label = %q", r.Algorithm)
+	}
+}
+
+func TestGOEmptyDataset(t *testing.T) {
+	_, sim := labData()
+	if _, err := GO(context.Background(), sim, dataset.Dataset{}); err == nil {
+		t.Error("GO accepted an empty dataset")
+	}
+}
+
+func TestSCAndProMCValidation(t *testing.T) {
+	tb, sim := labData()
+	ds := tb.Dataset(3)
+	ctx := context.Background()
+	if _, err := SC(ctx, sim, ds, 0); err == nil {
+		t.Error("SC accepted concurrency 0")
+	}
+	if _, err := ProMC(ctx, sim, ds, 0); err == nil {
+		t.Error("ProMC accepted concurrency 0")
+	}
+	sc, err := SC(ctx, sim, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promc, err := ProMC(ctx, sim, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Algorithm != NameSC || promc.Algorithm != NameProMC {
+		t.Error("labels wrong")
+	}
+}
+
+func TestMinEUsesFewChannels(t *testing.T) {
+	// On the LAN everything is one Large chunk; MinE must keep a single
+	// channel regardless of the budget (lowest possible power).
+	tb, sim := labData()
+	ds := tb.Dataset(4)
+	r1, err := MinE(context.Background(), sim, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := MinE(context.Background(), sim, ds, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Algorithm != NameMinE {
+		t.Error("label wrong")
+	}
+	// Same single-channel plan → same energy (deterministic sim).
+	if r1.EndSystemEnergy != r12.EndSystemEnergy {
+		t.Errorf("MinE energy varies with budget on single-chunk LAN: %v vs %v",
+			r1.EndSystemEnergy, r12.EndSystemEnergy)
+	}
+}
+
+func TestHTEEValidation(t *testing.T) {
+	tb, sim := labData()
+	ds := tb.Dataset(5)
+	if _, err := HTEE(context.Background(), sim, ds, 0); err == nil {
+		t.Error("HTEE accepted maxChannel 0")
+	}
+	res, err := HTEE(context.Background(), sim, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChosenConcurrency < 1 || res.ChosenConcurrency > 4 {
+		t.Errorf("chosen concurrency %d outside [1,4]", res.ChosenConcurrency)
+	}
+	if len(res.SearchEfficiency) == 0 {
+		t.Error("no search samples recorded")
+	}
+	for level := range res.SearchEfficiency {
+		if level%2 == 0 {
+			t.Errorf("search probed even level %d; search is 1,3,5,…", level)
+		}
+	}
+}
+
+func TestSLAEEValidation(t *testing.T) {
+	tb, sim := labData()
+	ds := tb.Dataset(6)
+	ctx := context.Background()
+	if _, err := SLAEE(ctx, sim, ds, 600*units.Mbps, 0.9, 0); err == nil {
+		t.Error("maxChannel 0 accepted")
+	}
+	if _, err := SLAEE(ctx, sim, ds, 600*units.Mbps, 0, 4); err == nil {
+		t.Error("SLA level 0 accepted")
+	}
+	if _, err := SLAEE(ctx, sim, ds, 600*units.Mbps, 1.2, 4); err == nil {
+		t.Error("SLA level >1 accepted")
+	}
+	if _, err := SLAEE(ctx, sim, ds, 0, 0.9, 4); err == nil {
+		t.Error("zero max throughput accepted")
+	}
+	res, err := SLAEE(ctx, sim, ds, 600*units.Mbps, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != NameSLAEE {
+		t.Error("label wrong")
+	}
+	if res.Target != 300*units.Mbps {
+		t.Errorf("target = %v, want 300Mbps", res.Target)
+	}
+	if res.Deviation() < 0 {
+		t.Errorf("LAN 50%% target should overshoot, got %.1f%%", res.Deviation())
+	}
+	if res.AbsDeviation() != res.Deviation() {
+		t.Errorf("AbsDeviation mismatch: %v vs %v", res.AbsDeviation(), res.Deviation())
+	}
+}
+
+func TestBFFindsBestRatio(t *testing.T) {
+	tb, sim := labData()
+	ds := tb.Dataset(7)
+	res, err := BF(context.Background(), sim, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 4 {
+		t.Fatalf("probed %d levels, want 4", len(res.Reports))
+	}
+	best := res.BestReport().Efficiency()
+	for c, r := range res.Reports {
+		if r.Efficiency() > best {
+			t.Errorf("level %d beats declared best: %v > %v", c, r.Efficiency(), best)
+		}
+	}
+	// LAN: more concurrency hurts, so BF must pick 1.
+	if res.Best != 1 {
+		t.Errorf("BF best = %d on the LAN, want 1", res.Best)
+	}
+	if _, err := BF(context.Background(), sim, ds, 0); err == nil {
+		t.Error("BF accepted maxChannel 0")
+	}
+}
+
+func TestSLAResultDeviationZeroTarget(t *testing.T) {
+	var r SLAResult
+	if r.Deviation() != 0 {
+		t.Error("zero target should yield zero deviation")
+	}
+}

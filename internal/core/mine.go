@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// MinEOptions are ablation knobs for MinE.
+type MinEOptions struct {
+	// UnpinLargeChunks lets Large chunks receive reallocated channels
+	// like everyone else, ablating MinE's signature restriction ("MinE
+	// assigns single channel to Large chunk regardless of its weight").
+	UnpinLargeChunks bool
+}
+
+// MinE is the Minimum Energy transfer algorithm (Algorithm 1): it tunes
+// pipelining, parallelism and concurrency per chunk to minimize energy
+// "without any performance concern". The signature choices:
+//
+//   - deep pipelining and most of the channels go to the Small chunk
+//     (keeping network and end-system busy instead of idling on RTTs),
+//   - the Large chunk is pinned to its computed concurrency — one
+//     channel in practice — because "using more concurrent channels for
+//     large files causes more power consumption",
+//   - chunks are transferred simultaneously (the Multi-Chunk mechanism)
+//     so the throughput deficit of the pinned Large chunk is partially
+//     hidden behind the other chunks.
+func MinE(ctx context.Context, exec transfer.Executor, ds dataset.Dataset, maxChannel int) (transfer.Report, error) {
+	return MinEWith(ctx, exec, ds, maxChannel, MinEOptions{})
+}
+
+// MinEWith is MinE with ablation options.
+func MinEWith(ctx context.Context, exec transfer.Executor, ds dataset.Dataset, maxChannel int, opts MinEOptions) (transfer.Report, error) {
+	env := exec.Env()
+	chunks := prepareChunks(env, ds)
+
+	// Algorithm 1 lines 6–12, verbatim: walk chunks small → large,
+	// assigning concurrency from the remaining channel budget:
+	//
+	//	concurrency = min(⌈BDP/avgFileSize⌉, ⌈(availChannel+1)/2⌉)
+	//	availChannel -= concurrency
+	//
+	// The ⌈BDP/avgFileSize⌉ term is what keeps MinE's channel count —
+	// and therefore its power draw — low: it only opens channels where
+	// small files would otherwise leave the pipe idle. We additionally
+	// guarantee one channel per chunk even at degenerate budgets
+	// (maxChannel < #chunks) so no chunk starves.
+	if maxChannel < len(chunks) {
+		maxChannel = len(chunks)
+	}
+	avail := maxChannel
+	bdp := env.BDP()
+	alloc := make([]int, len(chunks))
+	for i, c := range chunks {
+		reserve := len(chunks) - i - 1 // later chunks need ≥1 each
+		conc := units.CeilDiv(bdp, c.AvgFileSize())
+		if byAvail := (avail + 1) / 2; byAvail < conc {
+			conc = byAvail
+		}
+		cap := avail - reserve
+		if cap < 1 {
+			cap = 1
+		}
+		conc = units.Clamp(conc, 1, cap)
+		alloc[i] = conc
+		avail -= conc
+	}
+
+	plans := planFromChunks(chunks, alloc, nil)
+	for i := range plans {
+		// Large chunks never receive reallocated channels: MinE
+		// "assigns single channel to Large chunk regardless of its
+		// weight" (§2.4's comparison with HTEE).
+		if plans[i].Chunk.Class == dataset.Large && !opts.UnpinLargeChunks {
+			plans[i].AcceptRealloc = false
+		}
+	}
+	plan := transfer.Plan{
+		Chunks:            plans,
+		ReallocOnComplete: true,
+	}
+	r, err := exec.Run(ctx, plan)
+	if err != nil {
+		return transfer.Report{}, err
+	}
+	r.Algorithm = NameMinE
+	return r, nil
+}

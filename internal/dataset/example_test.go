@@ -1,0 +1,37 @@
+package dataset_test
+
+import (
+	"fmt"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/units"
+)
+
+func ExamplePartition() {
+	ds := dataset.Dataset{Files: []dataset.File{
+		{Name: "tiny.dat", Size: 3 * units.MB},
+		{Name: "mid.dat", Size: 120 * units.MB},
+		{Name: "huge.dat", Size: 4 * units.GB},
+	}}
+	bdp := units.Bytes(50 * units.MB) // XSEDE: 10 Gbps × 40 ms
+	for _, chunk := range dataset.Partition(ds, bdp) {
+		fmt.Printf("%s: %d file(s)\n", chunk.Class, chunk.Count())
+	}
+	// Output:
+	// Small: 1 file(s)
+	// Medium: 1 file(s)
+	// Large: 1 file(s)
+}
+
+func ExampleGenerator_Uniform() {
+	ds := dataset.NewGenerator(1).Uniform(4, 25*units.MB)
+	fmt.Println(ds.Count(), ds.TotalSize())
+	// Output: 4 100.00MB
+}
+
+func ExampleComputeStats() {
+	ds := dataset.NewGenerator(1).Uniform(10, 10*units.MB)
+	st := dataset.ComputeStats(ds)
+	fmt.Printf("count=%d total=%v median=%v gini=%.1f\n", st.Count, st.Total, st.Median, st.GiniBytes)
+	// Output: count=10 total=100.00MB median=10.00MB gini=0.0
+}

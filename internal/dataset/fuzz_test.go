@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzReadManifest(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteManifest(&good, ToManifest("w", 1, Dataset{Files: []File{{Name: "a", Size: 10}}}))
+	f.Add(good.String())
+	f.Add(`{"name":"x","files":[]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadManifest(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted manifests must round-trip loss-free.
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ReadManifest(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(m2.Files) != len(m.Files) || m2.Name != m.Name {
+			t.Fatalf("round trip changed manifest")
+		}
+		// And their datasets must be internally consistent.
+		d := m.Dataset()
+		if d.Count() != len(m.Files) {
+			t.Fatal("dataset count mismatch")
+		}
+		if d.TotalSize() < 0 {
+			t.Fatal("negative total")
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// Manifest is the serialized form of a dataset: enough for a client and
+// server to agree on a synthetic workload, or for experiments to be
+// replayed on real directories.
+type Manifest struct {
+	// Name labels the workload.
+	Name string `json:"name"`
+	// Seed records the generator seed for provenance (0 if hand-made).
+	Seed int64 `json:"seed,omitempty"`
+	// Files is the manifest body.
+	Files []ManifestFile `json:"files"`
+}
+
+// ManifestFile is one file entry.
+type ManifestFile struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// ToManifest captures a dataset.
+func ToManifest(name string, seed int64, d Dataset) Manifest {
+	m := Manifest{Name: name, Seed: seed, Files: make([]ManifestFile, len(d.Files))}
+	for i, f := range d.Files {
+		m.Files[i] = ManifestFile{Name: f.Name, Size: int64(f.Size)}
+	}
+	return m
+}
+
+// Dataset reconstructs the dataset.
+func (m Manifest) Dataset() Dataset {
+	d := Dataset{Files: make([]File, len(m.Files))}
+	for i, f := range m.Files {
+		d.Files[i] = File{Name: f.Name, Size: units.Bytes(f.Size)}
+	}
+	return d
+}
+
+// WriteManifest serializes m as indented JSON.
+func WriteManifest(w io.Writer, m Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses and validates a manifest.
+func ReadManifest(r io.Reader) (Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("dataset: parsing manifest: %w", err)
+	}
+	seen := make(map[string]bool, len(m.Files))
+	for i, f := range m.Files {
+		if f.Name == "" {
+			return Manifest{}, fmt.Errorf("dataset: manifest entry %d has no name", i)
+		}
+		if f.Size < 0 {
+			return Manifest{}, fmt.Errorf("dataset: %q has negative size %d", f.Name, f.Size)
+		}
+		if seen[f.Name] {
+			return Manifest{}, fmt.Errorf("dataset: duplicate file %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return m, nil
+}
+
+// Pareto generates n files with a bounded Pareto (heavy-tail) size
+// distribution — the shape real scientific archives exhibit: most files
+// small, most bytes in a few giants. alpha controls the tail (1.1–1.5
+// are typical; smaller = heavier).
+func (g *Generator) Pareto(n int, minSize, maxSize units.Bytes, alpha float64) Dataset {
+	if n < 0 || minSize <= 0 || maxSize < minSize || alpha <= 0 {
+		panic(fmt.Sprintf("dataset: invalid Pareto n=%d min=%v max=%v alpha=%v", n, minSize, maxSize, alpha))
+	}
+	lo := float64(minSize)
+	hi := float64(maxSize)
+	// Inverse-CDF sampling of the bounded Pareto.
+	loA := math.Pow(lo, alpha)
+	hiA := math.Pow(hi, alpha)
+	files := make([]File, n)
+	for i := range files {
+		u := g.rng.Float64()
+		x := math.Pow(-(u*hiA-u*loA-hiA)/(hiA*loA), -1/alpha)
+		files[i] = File{Name: fmt.Sprintf("file%05d.dat", i), Size: units.Bytes(x)}
+	}
+	return Dataset{Files: files}
+}
+
+// Stats summarizes a dataset's size distribution.
+type Stats struct {
+	Count       int
+	Total       units.Bytes
+	Min, Max    units.Bytes
+	Mean        units.Bytes
+	Median      units.Bytes
+	P90         units.Bytes
+	GiniBytes   float64 // byte-concentration: 0 = uniform, →1 = one giant
+	LargestByte float64 // fraction of bytes in the single largest file
+}
+
+// ComputeStats returns distribution statistics.
+func ComputeStats(d Dataset) Stats {
+	s := Stats{Count: d.Count(), Total: d.TotalSize(), Min: d.MinSize(), Max: d.MaxSize(), Mean: d.AvgFileSize()}
+	if s.Count == 0 {
+		return s
+	}
+	sizes := make([]units.Bytes, s.Count)
+	for i, f := range d.Files {
+		sizes[i] = f.Size
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	s.Median = sizes[s.Count/2]
+	s.P90 = sizes[(s.Count*9)/10]
+	if s.Total > 0 {
+		s.LargestByte = float64(sizes[s.Count-1]) / float64(s.Total)
+		// Gini over file sizes via the sorted-rank formula.
+		var cum float64
+		for i, sz := range sizes {
+			cum += float64(2*(i+1)-s.Count-1) * float64(sz)
+		}
+		s.GiniBytes = cum / (float64(s.Count) * float64(s.Total))
+	}
+	return s
+}

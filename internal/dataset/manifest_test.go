@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	ds := NewGenerator(5).Mixed(100*units.MB, units.MB, 20*units.MB)
+	m := ToManifest("test-workload", 5, ds)
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "test-workload" || back.Seed != 5 {
+		t.Errorf("metadata lost: %+v", back)
+	}
+	got := back.Dataset()
+	if got.Count() != ds.Count() || got.TotalSize() != ds.TotalSize() {
+		t.Errorf("dataset changed through manifest: %d/%v vs %d/%v",
+			got.Count(), got.TotalSize(), ds.Count(), ds.TotalSize())
+	}
+	for i := range ds.Files {
+		if got.Files[i] != ds.Files[i] {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+}
+
+func TestReadManifestRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not JSON":       "{",
+		"unknown field":  `{"name":"x","bogus":1,"files":[]}`,
+		"nameless file":  `{"name":"x","files":[{"name":"","size":3}]}`,
+		"negative size":  `{"name":"x","files":[{"name":"a","size":-1}]}`,
+		"duplicate name": `{"name":"x","files":[{"name":"a","size":1},{"name":"a","size":2}]}`,
+	}
+	for label, input := range cases {
+		if _, err := ReadManifest(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", label)
+		}
+	}
+}
+
+func TestParetoEnvelopeAndHeavyTail(t *testing.T) {
+	g := NewGenerator(11)
+	ds := g.Pareto(5000, units.MB, 10*units.GB, 1.2)
+	if ds.Count() != 5000 {
+		t.Fatalf("count = %d", ds.Count())
+	}
+	for _, f := range ds.Files {
+		if f.Size < units.MB || f.Size > 10*units.GB {
+			t.Fatalf("file %v outside envelope", f.Size)
+		}
+	}
+	st := ComputeStats(ds)
+	// Heavy tail: the mean sits far above the median.
+	if st.Mean < 2*st.Median {
+		t.Errorf("tail too light: mean %v median %v", st.Mean, st.Median)
+	}
+	if st.GiniBytes < 0.5 {
+		t.Errorf("byte concentration too low for Pareto: gini %.2f", st.GiniBytes)
+	}
+}
+
+func TestParetoPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewGenerator(1).Pareto(10, units.MB, units.KB, 1.2)
+}
+
+func TestComputeStatsUniform(t *testing.T) {
+	ds := NewGenerator(2).Uniform(100, 10*units.MB)
+	st := ComputeStats(ds)
+	if st.Median != 10*units.MB || st.P90 != 10*units.MB {
+		t.Errorf("uniform stats wrong: %+v", st)
+	}
+	if st.GiniBytes > 1e-9 {
+		t.Errorf("uniform gini should be 0, got %v", st.GiniBytes)
+	}
+	if st.LargestByte < 0.009 || st.LargestByte > 0.011 {
+		t.Errorf("largest-byte share = %v, want ~1/100", st.LargestByte)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(Dataset{})
+	if st.Count != 0 || st.Total != 0 || st.GiniBytes != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		ds := NewGenerator(seed).ManySmall(n, units.KB, units.GB)
+		g := ComputeStats(ds).GiniBytes
+		return g >= 0 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package endsys models the sender and receiver nodes of a transfer:
+// CPU, memory, disk subsystem and NIC. The paper's central claim is
+// that "at least one quarter of the data transfer power consumption
+// happens at the end-systems", and all three proposed algorithms tune
+// parameters that change *end-system* resource utilization. This
+// package turns a transfer operating point (throughput, processes,
+// streams) into per-component utilization percentages that the power
+// models in internal/power consume.
+package endsys
+
+import (
+	"fmt"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// DiskKind distinguishes the two storage subsystems the evaluation
+// contrasts: the parallel arrays on the XSEDE/FutureGrid data-transfer
+// nodes versus the single-disk DIDCLAB workstations whose "IO speed
+// decreases when the number of concurrent accesses increases" (§3).
+type DiskKind int
+
+// Disk subsystem kinds.
+const (
+	SingleDisk DiskKind = iota
+	ParallelArray
+)
+
+// String names the disk kind.
+func (k DiskKind) String() string {
+	switch k {
+	case SingleDisk:
+		return "SingleDisk"
+	case ParallelArray:
+		return "ParallelArray"
+	default:
+		return fmt.Sprintf("DiskKind(%d)", int(k))
+	}
+}
+
+// Disk models a storage subsystem.
+type Disk struct {
+	Kind DiskKind
+	// Rate is the sequential throughput of one accessor on one
+	// spindle/stripe.
+	Rate units.Rate
+	// Stripes is the stripe width of a parallel array (ignored for
+	// SingleDisk).
+	Stripes int
+	// ContentionAlpha is the single-disk seek-thrash coefficient: with
+	// n concurrent accessors the aggregate drops to Rate/(1+α(n−1)).
+	ContentionAlpha float64
+}
+
+// Validate reports a descriptive error for meaningless disks.
+func (d Disk) Validate() error {
+	switch {
+	case d.Rate <= 0:
+		return fmt.Errorf("endsys: non-positive disk rate %v", d.Rate)
+	case d.Kind == ParallelArray && d.Stripes < 1:
+		return fmt.Errorf("endsys: parallel array with %d stripes", d.Stripes)
+	case d.ContentionAlpha < 0:
+		return fmt.Errorf("endsys: negative contention alpha %v", d.ContentionAlpha)
+	default:
+		return nil
+	}
+}
+
+// AggregateRate returns the total IO throughput available to n
+// concurrent accessors. For a single disk this *decreases* with n
+// (seek thrash); for a parallel array it scales up to the stripe width.
+func (d Disk) AggregateRate(n int) units.Rate {
+	if n <= 0 {
+		return 0
+	}
+	switch d.Kind {
+	case ParallelArray:
+		k := n
+		if k > d.Stripes {
+			k = d.Stripes
+		}
+		return d.Rate * units.Rate(k)
+	default:
+		return units.Rate(float64(d.Rate) / (1 + d.ContentionAlpha*float64(n-1)))
+	}
+}
+
+// MaxRate returns the best-case aggregate throughput of the subsystem.
+func (d Disk) MaxRate() units.Rate {
+	if d.Kind == ParallelArray {
+		return d.Rate * units.Rate(d.Stripes)
+	}
+	return d.Rate
+}
+
+// Server describes one end-system node and its utilization response to
+// transfer load. Utilization coefficients are percentages.
+type Server struct {
+	Name  string
+	Cores int
+	// TDP is the CPU's thermal design power, used by the CPU-only
+	// power model's cross-machine scaling (Eq. 3).
+	TDP units.Watts
+	// NICRate is the network interface line rate.
+	NICRate units.Rate
+	Disk    Disk
+
+	// CPUPerGbps is CPU% consumed per Gbps moved (protocol and copy
+	// overhead).
+	CPUPerGbps float64
+	// CPUPerStream is CPU% consumed per active TCP stream (interrupt,
+	// locking and syscall overhead per connection).
+	CPUPerStream float64
+	// CPUBaseActive is the CPU% floor paid as soon as the server takes
+	// part in a transfer at all (transfer service processes, control
+	// channels). This is what makes Globus Online's habit of spreading
+	// channels across many servers expensive (§3).
+	CPUBaseActive float64
+	// MemPerGbps is memory-bus utilization % per Gbps.
+	MemPerGbps float64
+}
+
+// Validate reports a descriptive error for meaningless servers.
+func (s Server) Validate() error {
+	switch {
+	case s.Cores < 1:
+		return fmt.Errorf("endsys: server %q has %d cores", s.Name, s.Cores)
+	case s.TDP <= 0:
+		return fmt.Errorf("endsys: server %q has TDP %v", s.Name, s.TDP)
+	case s.NICRate <= 0:
+		return fmt.Errorf("endsys: server %q has NIC rate %v", s.Name, s.NICRate)
+	case s.CPUPerGbps < 0 || s.CPUPerStream < 0 || s.CPUBaseActive < 0 || s.MemPerGbps < 0:
+		return fmt.Errorf("endsys: server %q has negative utilization coefficients", s.Name)
+	default:
+		return s.Disk.Validate()
+	}
+}
+
+// Utilization holds per-component utilization percentages in [0,100],
+// the exact inputs of the paper's fine-grained power model (Eq. 1).
+type Utilization struct {
+	CPU  float64
+	Mem  float64
+	Disk float64
+	NIC  float64
+}
+
+// Clamp bounds every component to [0,100] and returns the result.
+func (u Utilization) Clamp() Utilization {
+	u.CPU = units.ClampF(u.CPU, 0, 100)
+	u.Mem = units.ClampF(u.Mem, 0, 100)
+	u.Disk = units.ClampF(u.Disk, 0, 100)
+	u.NIC = units.ClampF(u.NIC, 0, 100)
+	return u
+}
+
+// Load is a transfer operating point on one server.
+type Load struct {
+	// Throughput is the data rate this server is moving.
+	Throughput units.Rate
+	// Processes is the number of transfer processes (channels) running
+	// here; the paper's Eq. 2 coefficient depends on it.
+	Processes int
+	// Streams is the total TCP stream count (channels × parallelism).
+	Streams int
+}
+
+// UtilizationFor maps a load to component utilizations.
+func (s Server) UtilizationFor(l Load) Utilization {
+	if l.Processes <= 0 && l.Throughput <= 0 {
+		return Utilization{}
+	}
+	gbps := float64(l.Throughput / units.Gbps)
+	u := Utilization{
+		CPU:  s.CPUBaseActive + s.CPUPerGbps*gbps + s.CPUPerStream*float64(l.Streams),
+		Mem:  s.MemPerGbps * gbps,
+		NIC:  100 * float64(l.Throughput) / float64(s.NICRate),
+		Disk: 0,
+	}
+	if max := s.Disk.MaxRate(); max > 0 {
+		u.Disk = 100 * float64(l.Throughput) / float64(max)
+	}
+	return u.Clamp()
+}

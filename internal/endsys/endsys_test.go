@@ -1,0 +1,158 @@
+package endsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+func testServer() Server {
+	return Server{
+		Name:    "ws",
+		Cores:   4,
+		TDP:     95,
+		NICRate: 10 * units.Gbps,
+		Disk: Disk{
+			Kind:    ParallelArray,
+			Rate:    2 * units.Gbps,
+			Stripes: 4,
+		},
+		CPUPerGbps:    4,
+		CPUPerStream:  1.5,
+		CPUBaseActive: 5,
+		MemPerGbps:    2,
+	}
+}
+
+func TestServerValidate(t *testing.T) {
+	if err := testServer().Validate(); err != nil {
+		t.Fatalf("valid server rejected: %v", err)
+	}
+	bad := []func(*Server){
+		func(s *Server) { s.Cores = 0 },
+		func(s *Server) { s.TDP = 0 },
+		func(s *Server) { s.NICRate = 0 },
+		func(s *Server) { s.CPUPerGbps = -1 },
+		func(s *Server) { s.Disk.Rate = 0 },
+		func(s *Server) { s.Disk = Disk{Kind: ParallelArray, Rate: units.Gbps, Stripes: 0} },
+		func(s *Server) { s.Disk.ContentionAlpha = -0.1 },
+	}
+	for i, mutate := range bad {
+		s := testServer()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid server accepted", i)
+		}
+	}
+}
+
+func TestSingleDiskDegradesWithAccessors(t *testing.T) {
+	d := Disk{Kind: SingleDisk, Rate: 600 * units.Mbps, ContentionAlpha: 0.15}
+	prev := d.AggregateRate(1)
+	if prev != 600*units.Mbps {
+		t.Fatalf("single accessor rate = %v", prev)
+	}
+	for n := 2; n <= 12; n++ {
+		cur := d.AggregateRate(n)
+		if cur >= prev {
+			t.Fatalf("single disk did not degrade at n=%d: %v >= %v", n, cur, prev)
+		}
+		prev = cur
+	}
+	// The paper's DIDCLAB throughput at concurrency 12 is roughly half
+	// the concurrency-1 value; the model should be in that regime.
+	if ratio := float64(d.AggregateRate(12)) / float64(d.AggregateRate(1)); ratio > 0.6 || ratio < 0.2 {
+		t.Errorf("12-accessor degradation ratio %.2f outside [0.2,0.6]", ratio)
+	}
+}
+
+func TestParallelArrayScalesToStripes(t *testing.T) {
+	d := Disk{Kind: ParallelArray, Rate: 2 * units.Gbps, Stripes: 4}
+	if d.AggregateRate(1) != 2*units.Gbps {
+		t.Error("one accessor should get one stripe rate")
+	}
+	if d.AggregateRate(4) != 8*units.Gbps {
+		t.Error("four accessors should aggregate four stripes")
+	}
+	if d.AggregateRate(12) != 8*units.Gbps {
+		t.Error("aggregate must cap at stripe width")
+	}
+	if d.MaxRate() != 8*units.Gbps {
+		t.Error("MaxRate should be stripes × rate")
+	}
+}
+
+func TestAggregateRateZeroAccessors(t *testing.T) {
+	d := Disk{Kind: SingleDisk, Rate: units.Gbps}
+	if d.AggregateRate(0) != 0 || d.AggregateRate(-1) != 0 {
+		t.Error("no accessors should mean no throughput")
+	}
+}
+
+func TestUtilizationForIdle(t *testing.T) {
+	s := testServer()
+	if u := s.UtilizationFor(Load{}); u != (Utilization{}) {
+		t.Errorf("idle server utilization = %+v, want zero", u)
+	}
+}
+
+func TestUtilizationForScalesWithLoad(t *testing.T) {
+	s := testServer()
+	light := s.UtilizationFor(Load{Throughput: 1 * units.Gbps, Processes: 1, Streams: 2})
+	heavy := s.UtilizationFor(Load{Throughput: 8 * units.Gbps, Processes: 8, Streams: 16})
+	if light.CPU >= heavy.CPU || light.NIC >= heavy.NIC || light.Mem >= heavy.Mem || light.Disk >= heavy.Disk {
+		t.Errorf("utilization did not grow with load: light=%+v heavy=%+v", light, heavy)
+	}
+	// NIC utilization must be exact: 8/10 Gbps = 80%.
+	if heavy.NIC != 80 {
+		t.Errorf("NIC utilization = %v, want 80", heavy.NIC)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	s := testServer()
+	f := func(gbps uint8, procs, streams uint8) bool {
+		u := s.UtilizationFor(Load{
+			Throughput: units.Rate(gbps) * units.Gbps,
+			Processes:  int(procs),
+			Streams:    int(streams),
+		})
+		for _, v := range []float64{u.CPU, u.Mem, u.Disk, u.NIC} {
+			if v < 0 || v > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseActiveCPUCharged(t *testing.T) {
+	// A server that participates with one idle-ish channel still pays
+	// the base overhead — the mechanism behind GO's multi-server energy
+	// penalty.
+	s := testServer()
+	u := s.UtilizationFor(Load{Throughput: 0, Processes: 1, Streams: 1})
+	if u.CPU < s.CPUBaseActive {
+		t.Errorf("CPU %v below base overhead %v", u.CPU, s.CPUBaseActive)
+	}
+}
+
+func TestDiskKindString(t *testing.T) {
+	if SingleDisk.String() != "SingleDisk" || ParallelArray.String() != "ParallelArray" {
+		t.Error("names wrong")
+	}
+	if DiskKind(7).String() != "DiskKind(7)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestUtilizationClamp(t *testing.T) {
+	u := Utilization{CPU: 150, Mem: -3, Disk: 50, NIC: 101}.Clamp()
+	if u.CPU != 100 || u.Mem != 0 || u.Disk != 50 || u.NIC != 100 {
+		t.Errorf("clamp wrong: %+v", u)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/testbed"
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// Adaptation is the extension experiment: a congestion step hits the
+// path mid-transfer (cross traffic claims a fraction of the bandwidth)
+// and the question is whether SLAEE's five-second control loop defends
+// its SLA while a statically-tuned transfer just slows down.
+type Adaptation struct {
+	Testbed string
+	// Step describes the injected cross traffic.
+	StepAt       time.Duration
+	StepFraction float64
+	Target       units.Rate
+	// SLAEE is the adaptive run; Static is ProMC pinned at the
+	// concurrency that met the target before the step.
+	SLAEE  core.SLAResult
+	Static transfer.Report
+	// StaticLateThroughput is the static run's average throughput
+	// after the step hit.
+	StaticLateThroughput units.Rate
+	// SLAEELateThroughput is SLAEE's average throughput after the step.
+	SLAEELateThroughput units.Rate
+	// SLAEELateConcurrency is the concurrency SLAEE climbed to.
+	SLAEELateConcurrency int
+}
+
+// stepBackground returns a background-traffic schedule: idle until at,
+// then a constant fraction.
+func stepBackground(at time.Duration, fraction float64) func(time.Duration) float64 {
+	return func(now time.Duration) float64 {
+		if now >= at {
+			return fraction
+		}
+		return 0
+	}
+}
+
+// lateThroughput averages a sample timeline's throughput from `from`
+// onward.
+func lateThroughput(samples []transfer.Sample, from time.Duration) units.Rate {
+	var bytes units.Bytes
+	var dur time.Duration
+	for _, s := range samples {
+		if s.Start >= from {
+			bytes += s.Bytes
+			dur += s.Duration
+		}
+	}
+	return units.RateOf(bytes, dur)
+}
+
+// RunAdaptation executes the congestion-step experiment on tb. The SLA
+// target is 60% of the clean-path ProMC maximum — comfortably reachable
+// before the step, demanding after it.
+func RunAdaptation(ctx context.Context, tb testbed.Testbed, seed int64) (Adaptation, error) {
+	ds := tb.Dataset(seed)
+	ref, err := core.ProMC(ctx, transfer.NewSim(tb), ds, tb.SLARefConcurrency)
+	if err != nil {
+		return Adaptation{}, fmt.Errorf("clean-path reference: %w", err)
+	}
+	target := units.Rate(float64(ref.Throughput) * 0.6)
+
+	// The step lands a quarter into the clean-path duration and takes
+	// 35% of the link.
+	stepAt := ref.Duration / 4
+	const stepFraction = 0.35
+	background := stepBackground(stepAt, stepFraction)
+
+	congested := func() *transfer.Sim {
+		sim := transfer.NewSim(tb)
+		sim.Background = background
+		return sim
+	}
+
+	// Static competitor: the lowest concurrency that met the target on
+	// the clean path (what an operator would have tuned to).
+	staticConc := 1
+	for c := 1; c <= tb.MaxConcurrency; c++ {
+		r, err := core.ProMC(ctx, transfer.NewSim(tb), ds, c)
+		if err != nil {
+			return Adaptation{}, err
+		}
+		staticConc = c
+		if r.Throughput >= target {
+			break
+		}
+	}
+	static, err := core.ProMC(ctx, congested(), ds, staticConc)
+	if err != nil {
+		return Adaptation{}, fmt.Errorf("static run: %w", err)
+	}
+
+	slaee, err := core.SLAEE(ctx, congested(), ds, ref.Throughput, 0.6, tb.MaxConcurrency)
+	if err != nil {
+		return Adaptation{}, fmt.Errorf("SLAEE run: %w", err)
+	}
+
+	a := Adaptation{
+		Testbed:              tb.Name,
+		StepAt:               stepAt,
+		StepFraction:         stepFraction,
+		Target:               target,
+		SLAEE:                slaee,
+		Static:               static,
+		StaticLateThroughput: lateThroughput(static.Samples, stepAt),
+		SLAEELateThroughput:  lateThroughput(slaee.Samples, stepAt),
+		SLAEELateConcurrency: slaee.FinalConcurrency,
+	}
+	return a, nil
+}
+
+// MarkdownAdaptation renders the experiment.
+func MarkdownAdaptation(a Adaptation) string {
+	return fmt.Sprintf(`
+**Congestion-step adaptation on %s (extension experiment)**
+
+Cross traffic claims %.0f%% of the link at t=%v; the SLA target is %v.
+
+| run | post-step throughput | final concurrency | SLA met |
+|---|---|---|---|
+| static ProMC (pre-tuned) | %v | fixed | %v |
+| SLAEE (5 s control loop) | %v | %d | %v |
+`,
+		a.Testbed, a.StepFraction*100, a.StepAt.Round(time.Second), a.Target,
+		a.StaticLateThroughput, a.StaticLateThroughput >= a.Target,
+		a.SLAEELateThroughput, a.SLAEELateConcurrency, a.SLAEELateThroughput >= units.Rate(float64(a.Target)*0.95))
+}
+
+// CheckAdaptation asserts that the control loop earns its keep: SLAEE's
+// post-step throughput beats the static run's and lands near the
+// target.
+func CheckAdaptation(a Adaptation) []Check {
+	var checks []Check
+	checks = append(checks, check("SLAEE outruns the static transfer after the congestion step",
+		a.SLAEELateThroughput > a.StaticLateThroughput,
+		"SLAEE %v vs static %v", a.SLAEELateThroughput, a.StaticLateThroughput))
+	checks = append(checks, check("SLAEE holds ≥85% of the SLA under congestion",
+		float64(a.SLAEELateThroughput) >= float64(a.Target)*0.85,
+		"post-step %v vs target %v", a.SLAEELateThroughput, a.Target))
+	checks = append(checks, check("SLAEE climbed concurrency to compensate",
+		a.SLAEELateConcurrency > 1, "final cc=%d", a.SLAEELateConcurrency))
+	return checks
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/didclab/eta/internal/plot"
+)
+
+// FigureThroughput builds panel (a) of Figs. 2–4: throughput vs.
+// concurrency per algorithm.
+func FigureThroughput(s *Sweep) plot.Chart {
+	return plot.Chart{
+		Title:  fmt.Sprintf("%s — throughput vs. concurrency", s.Testbed),
+		XLabel: "concurrency",
+		YLabel: "throughput (Mbps)",
+		Series: s.series(func(a string, l int) float64 {
+			return s.Reports[a][l].Throughput.Mbit()
+		}),
+	}
+}
+
+// FigureEnergy builds panel (b): end-system energy vs. concurrency.
+func FigureEnergy(s *Sweep) plot.Chart {
+	return plot.Chart{
+		Title:  fmt.Sprintf("%s — end-system energy vs. concurrency", s.Testbed),
+		XLabel: "concurrency",
+		YLabel: "energy (J)",
+		Series: s.series(func(a string, l int) float64 {
+			return float64(s.Reports[a][l].EndSystemEnergy)
+		}),
+	}
+}
+
+// FigureEfficiency builds panel (c): throughput/energy ratio normalized
+// to the brute-force best.
+func FigureEfficiency(s *Sweep) plot.Chart {
+	one := 1.05
+	zero := 0.0
+	return plot.Chart{
+		Title:  fmt.Sprintf("%s — efficiency normalized to brute-force best", s.Testbed),
+		XLabel: "concurrency",
+		YLabel: "throughput/energy ratio (normalized)",
+		YMin:   &zero,
+		YMax:   &one,
+		Series: s.series(func(a string, l int) float64 {
+			return s.NormalizedEfficiency(s.Reports[a][l])
+		}),
+	}
+}
+
+func (s *Sweep) series(value func(algo string, level int) float64) []plot.Series {
+	var out []plot.Series
+	for _, a := range s.Algorithms() {
+		ser := plot.Series{Name: a}
+		for _, l := range s.Levels {
+			ser.X = append(ser.X, float64(l))
+			ser.Y = append(ser.Y, value(a, l))
+		}
+		out = append(out, ser)
+	}
+	return out
+}
+
+// FigureSLAThroughput builds panel (a) of Figs. 5–7: target vs.
+// achieved throughput plus the ProMC maximum.
+func FigureSLAThroughput(s *SLASweep) plot.Chart {
+	target := plot.Series{Name: "target"}
+	achieved := plot.Series{Name: "achieved"}
+	max := plot.Series{Name: "max (ProMC)"}
+	for _, t := range s.Targets {
+		x := t * 100
+		r := s.Results[t]
+		target.X = append(target.X, x)
+		target.Y = append(target.Y, r.Target.Mbit())
+		achieved.X = append(achieved.X, x)
+		achieved.Y = append(achieved.Y, r.Throughput.Mbit())
+		max.X = append(max.X, x)
+		max.Y = append(max.Y, s.MaxThroughput.Mbit())
+	}
+	zero := 0.0
+	return plot.Chart{
+		Title:  fmt.Sprintf("%s — SLA throughput", s.Testbed),
+		XLabel: "target (% of max)",
+		YLabel: "throughput (Mbps)",
+		YMin:   &zero,
+		Series: []plot.Series{target, achieved, max},
+	}
+}
+
+// FigureSLAEnergy builds panel (b): SLAEE energy vs. the ProMC
+// reference.
+func FigureSLAEnergy(s *SLASweep) plot.Chart {
+	energy := plot.Series{Name: "SLAEE"}
+	ref := plot.Series{Name: "max-throughput ProMC"}
+	for _, t := range s.Targets {
+		x := t * 100
+		energy.X = append(energy.X, x)
+		energy.Y = append(energy.Y, float64(s.Results[t].EndSystemEnergy))
+		ref.X = append(ref.X, x)
+		ref.Y = append(ref.Y, float64(s.Reference.EndSystemEnergy))
+	}
+	zero := 0.0
+	return plot.Chart{
+		Title:  fmt.Sprintf("%s — SLA energy consumption", s.Testbed),
+		XLabel: "target (% of max)",
+		YLabel: "energy (J)",
+		YMin:   &zero,
+		Series: []plot.Series{energy, ref},
+	}
+}
+
+// FigureSLADeviation builds panel (c): deviation ratio per target.
+func FigureSLADeviation(s *SLASweep) plot.Chart {
+	dev := plot.Series{Name: "deviation"}
+	for i, t := range s.Targets {
+		dev.X = append(dev.X, float64(i))
+		dev.Y = append(dev.Y, s.Results[t].Deviation())
+	}
+	labels := make([]string, len(s.Targets))
+	for i, t := range s.Targets {
+		labels[i] = fmt.Sprintf("%.0f%%", t*100)
+	}
+	return plot.Chart{
+		Title:       fmt.Sprintf("%s — SLA deviation ratio", s.Testbed),
+		XLabel:      "target (% of max)",
+		YLabel:      "deviation (%)",
+		Kind:        plot.Bars,
+		Series:      []plot.Series{dev},
+		XTickLabels: labels,
+	}
+}
+
+// FigureRatePower builds Fig. 8.
+func FigureRatePower(points []RatePowerPoint) plot.Chart {
+	nl := plot.Series{Name: "non-linear"}
+	lin := plot.Series{Name: "linear"}
+	sb := plot.Series{Name: "state-based"}
+	for _, p := range points {
+		x := p.Utilization * 100
+		nl.X = append(nl.X, x)
+		nl.Y = append(nl.Y, p.NonLinear)
+		lin.X = append(lin.X, x)
+		lin.Y = append(lin.Y, p.Linear)
+		sb.X = append(sb.X, x)
+		sb.Y = append(sb.Y, p.StateBased)
+	}
+	return plot.Chart{
+		Title:  "Data traffic rate vs. device power (Fig. 8)",
+		XLabel: "data traffic rate (%)",
+		YLabel: "dynamic power (fraction of max)",
+		Series: []plot.Series{nl, lin, sb},
+	}
+}
+
+// FigureEnergySplitChart builds Fig. 10 as grouped bars.
+func FigureEnergySplitChart(splits []EnergySplit) plot.Chart {
+	end := plot.Series{Name: "end-system"}
+	net := plot.Series{Name: "network"}
+	labels := make([]string, len(splits))
+	for i, s := range splits {
+		end.X = append(end.X, float64(i))
+		end.Y = append(end.Y, float64(s.EndSystem)/1000)
+		net.X = append(net.X, float64(i))
+		net.Y = append(net.Y, float64(s.Network)/1000)
+		labels[i] = s.Testbed
+	}
+	return plot.Chart{
+		Title:       "End-system vs. network energy (Fig. 10)",
+		XLabel:      "testbed",
+		YLabel:      "energy (kJ)",
+		Kind:        plot.Bars,
+		Series:      []plot.Series{end, net},
+		XTickLabels: labels,
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MarkdownSweep renders a Fig. 2/3/4-style sweep as three markdown
+// tables (throughput, energy, normalized efficiency).
+func MarkdownSweep(s *Sweep) string {
+	var b strings.Builder
+	algos := s.Algorithms()
+
+	header := func(title string) {
+		fmt.Fprintf(&b, "\n**%s — %s**\n\n", s.Testbed, title)
+		b.WriteString("| algorithm |")
+		for _, l := range s.Levels {
+			fmt.Fprintf(&b, " cc=%d |", l)
+		}
+		b.WriteString("\n|---|")
+		for range s.Levels {
+			b.WriteString("---|")
+		}
+		b.WriteString("\n")
+	}
+
+	header("throughput (Mbps)")
+	for _, a := range algos {
+		fmt.Fprintf(&b, "| %s |", a)
+		for _, l := range s.Levels {
+			fmt.Fprintf(&b, " %.0f |", s.Reports[a][l].Throughput.Mbit())
+		}
+		b.WriteString("\n")
+	}
+
+	header("end-system energy (J)")
+	for _, a := range algos {
+		fmt.Fprintf(&b, "| %s |", a)
+		for _, l := range s.Levels {
+			fmt.Fprintf(&b, " %.0f |", float64(s.Reports[a][l].EndSystemEnergy))
+		}
+		b.WriteString("\n")
+	}
+
+	header("throughput/energy ratio normalized to brute-force best")
+	for _, a := range algos {
+		fmt.Fprintf(&b, "| %s |", a)
+		for _, l := range s.Levels {
+			fmt.Fprintf(&b, " %.2f |", s.NormalizedEfficiency(s.Reports[a][l]))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nBrute force best: concurrency %d (ratio %.4f Mbps/J)\n", s.BF.Best, s.BestEfficiency())
+
+	var levels []int
+	for l := range s.HTEE {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	b.WriteString("\nHTEE search outcome: ")
+	for i, l := range levels {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "max=%d→%d", l, s.HTEE[l].ChosenConcurrency)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// MarkdownSLA renders a Fig. 5/6/7-style SLA sweep as a markdown table.
+func MarkdownSLA(s *SLASweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n**%s — SLA transfers (max throughput %.0f Mbps, ProMC reference energy %.0f J)**\n\n",
+		s.Testbed, s.MaxThroughput.Mbit(), float64(s.Reference.EndSystemEnergy))
+	b.WriteString("| target %% | target Mbps | achieved Mbps | deviation %% | energy (J) | saving vs ProMC %% | final cc |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, t := range s.Targets {
+		r := s.Results[t]
+		fmt.Fprintf(&b, "| %.0f | %.0f | %.0f | %+.1f | %.0f | %.1f | %d |\n",
+			t*100, r.Target.Mbit(), r.Throughput.Mbit(), r.Deviation(),
+			float64(r.EndSystemEnergy), s.EnergySaving(t), r.FinalConcurrency)
+	}
+	return b.String()
+}
+
+// MarkdownEnergySplit renders Fig. 10's decomposition.
+func MarkdownEnergySplit(splits []EnergySplit) string {
+	var b strings.Builder
+	b.WriteString("\n**End-system vs. network energy (HTEE, load-dependent only)**\n\n")
+	b.WriteString("| testbed | end-system | network | end-system % | network % |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, s := range splits {
+		fmt.Fprintf(&b, "| %s | %s | %s | %.0f | %.0f |\n",
+			s.Testbed, s.EndSystem, s.Network, s.EndSystemShare, s.NetworkShare)
+	}
+	return b.String()
+}
+
+// MarkdownRatePower renders Fig. 8's three curves as a table.
+func MarkdownRatePower(points []RatePowerPoint) string {
+	var b strings.Builder
+	b.WriteString("\n**Rate vs. dynamic power (fraction of max)**\n\n")
+	b.WriteString("| utilization | non-linear | linear | state-based |\n|---|---|---|---|\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %.2f | %.3f | %.3f | %.3f |\n", p.Utilization, p.NonLinear, p.Linear, p.StateBased)
+	}
+	return b.String()
+}
+
+// CSVSweep renders the sweep's throughput/energy series as CSV rows
+// (one row per algorithm × level) for plotting.
+func CSVSweep(s *Sweep) string {
+	var b strings.Builder
+	b.WriteString("testbed,algorithm,concurrency,throughput_mbps,energy_j,network_energy_j,efficiency_norm\n")
+	for _, a := range s.Algorithms() {
+		for _, l := range s.Levels {
+			r := s.Reports[a][l]
+			fmt.Fprintf(&b, "%s,%s,%d,%.1f,%.1f,%.1f,%.4f\n",
+				s.Testbed, a, l, r.Throughput.Mbit(), float64(r.EndSystemEnergy),
+				float64(r.NetworkEnergy), s.NormalizedEfficiency(r))
+		}
+	}
+	return b.String()
+}
+
+// CSVSLA renders the SLA sweep as CSV rows.
+func CSVSLA(s *SLASweep) string {
+	var b strings.Builder
+	b.WriteString("testbed,target_pct,target_mbps,achieved_mbps,deviation_pct,energy_j,saving_pct,final_concurrency\n")
+	for _, t := range s.Targets {
+		r := s.Results[t]
+		fmt.Fprintf(&b, "%s,%.0f,%.1f,%.1f,%.2f,%.1f,%.2f,%d\n",
+			s.Testbed, t*100, r.Target.Mbit(), r.Throughput.Mbit(), r.Deviation(),
+			float64(r.EndSystemEnergy), s.EnergySaving(t), r.FinalConcurrency)
+	}
+	return b.String()
+}

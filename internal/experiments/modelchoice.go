@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/power"
+	"github.com/didclab/eta/internal/testbed"
+	"github.com/didclab/eta/internal/transfer"
+)
+
+// ModelChoice is the §2.2 question carried to its operational
+// conclusion: if a site can only observe CPU utilization (the CPU-only
+// model, Eq. 3), do the energy-aware algorithms still make the same
+// decisions as under the fine-grained model?
+type ModelChoice struct {
+	Testbed string
+	// FineGrained / CPUOnly are the HTEE outcomes under each model.
+	FineGrained core.HTEEResult
+	CPUOnly     core.HTEEResult
+	// ConcurrencyAgrees reports whether the chosen levels are within
+	// one search step of each other.
+	ConcurrencyAgrees bool
+	// EfficiencyPenalty is the fine-grained-measured efficiency lost by
+	// following the CPU-only model's choice, in percent.
+	EfficiencyPenalty float64
+}
+
+// cpuOnlyAsFineGrained folds a CPU-only model into the fine-grained
+// representation the simulator consumes: P = (C_cpu,n + Linear)·u_cpu
+// is a fine-grained model whose quadratic is shifted by Linear and
+// whose other components are zero.
+func cpuOnlyAsFineGrained(m power.CPUOnly) power.FineGrained {
+	scale := 1.0
+	if m.TDPLocal > 0 && m.TDPRemote > 0 {
+		scale = float64(m.TDPRemote) / float64(m.TDPLocal)
+	}
+	return power.FineGrained{Coeff: power.Coefficients{
+		CPU: power.CPUQuad{m.CPU[0] * scale, m.CPU[1] * scale, (m.CPU[2] + m.Linear) * scale},
+	}}
+}
+
+// RunModelChoice runs HTEE twice on tb — once metering energy with the
+// testbed's fine-grained model, once with a CPU-only model fitted from
+// transfer-shaped calibration of that same model — and compares the
+// decisions. The CPU-only run's final efficiency is re-measured under
+// the fine-grained model so the penalty is apples to apples.
+func RunModelChoice(ctx context.Context, tb testbed.Testbed, seed int64) (ModelChoice, error) {
+	ds := tb.Dataset(seed)
+
+	fine, err := core.HTEE(ctx, transfer.NewSim(tb), ds, tb.MaxConcurrency)
+	if err != nil {
+		return ModelChoice{}, fmt.Errorf("HTEE under fine-grained model: %w", err)
+	}
+
+	// Build the CPU-only model the way the paper does: observe the
+	// (utilization, power) behaviour of transfer-like load under the
+	// testbed's own fine-grained model, then fit Eq. 3.
+	truth := power.GroundTruth{Coeff: tb.Power.Coeff}
+	cpuOnly, err := power.BuildCPUOnly(power.TransferCalibration(truth, seed), float64(tb.Source.TDP))
+	if err != nil {
+		return ModelChoice{}, fmt.Errorf("fitting CPU-only model: %w", err)
+	}
+	tbCPU := tb
+	tbCPU.Power = cpuOnlyAsFineGrained(cpuOnly)
+	cpuRun, err := core.HTEE(ctx, transfer.NewSim(tbCPU), ds, tb.MaxConcurrency)
+	if err != nil {
+		return ModelChoice{}, fmt.Errorf("HTEE under CPU-only model: %w", err)
+	}
+
+	// Re-measure the CPU-only decision under the fine-grained model:
+	// run ProMC-style at the chosen level.
+	remeasured, err := core.ProMC(ctx, transfer.NewSim(tb), ds, cpuRun.ChosenConcurrency)
+	if err != nil {
+		return ModelChoice{}, fmt.Errorf("re-measuring CPU-only choice: %w", err)
+	}
+	atFineChoice, err := core.ProMC(ctx, transfer.NewSim(tb), ds, fine.ChosenConcurrency)
+	if err != nil {
+		return ModelChoice{}, fmt.Errorf("re-measuring fine-grained choice: %w", err)
+	}
+
+	mc := ModelChoice{
+		Testbed:     tb.Name,
+		FineGrained: fine,
+		CPUOnly:     cpuRun,
+	}
+	diff := fine.ChosenConcurrency - cpuRun.ChosenConcurrency
+	if diff < 0 {
+		diff = -diff
+	}
+	mc.ConcurrencyAgrees = diff <= 2
+	if base := atFineChoice.Efficiency(); base > 0 {
+		mc.EfficiencyPenalty = (1 - remeasured.Efficiency()/base) * 100
+	}
+	return mc, nil
+}
+
+// MarkdownModelChoice renders the comparison.
+func MarkdownModelChoice(mcs []ModelChoice) string {
+	out := "\n**HTEE decisions under fine-grained vs. CPU-only power models (§2.2)**\n\n"
+	out += "| testbed | fine-grained choice | CPU-only choice | agrees | efficiency penalty |\n|---|---|---|---|---|\n"
+	for _, mc := range mcs {
+		out += fmt.Sprintf("| %s | cc=%d | cc=%d | %v | %.1f%% |\n",
+			mc.Testbed, mc.FineGrained.ChosenConcurrency, mc.CPUOnly.ChosenConcurrency,
+			mc.ConcurrencyAgrees, mc.EfficiencyPenalty)
+	}
+	return out
+}
+
+// CheckModelChoice asserts the paper's conclusion that "CPU-based
+// models can give us accurate enough results where fine-grained models
+// are not applicable": the decisions agree within one search step and
+// the penalty is small.
+func CheckModelChoice(mcs []ModelChoice) []Check {
+	var checks []Check
+	for _, mc := range mcs {
+		checks = append(checks, check("CPU-only model picks a near-identical concurrency on "+mc.Testbed,
+			mc.ConcurrencyAgrees, "fine cc=%d vs cpu-only cc=%d",
+			mc.FineGrained.ChosenConcurrency, mc.CPUOnly.ChosenConcurrency))
+		checks = append(checks, check("CPU-only decision costs <10% efficiency on "+mc.Testbed,
+			mc.EfficiencyPenalty < 10, "penalty %.1f%%", mc.EfficiencyPenalty))
+	}
+	return checks
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/netpower"
+	"github.com/didclab/eta/internal/testbed"
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// RatePowerPoint is one x/y point of Fig. 8.
+type RatePowerPoint struct {
+	Utilization float64 // traffic rate as a fraction of capacity
+	NonLinear   float64 // fraction of max dynamic power
+	Linear      float64
+	StateBased  float64
+}
+
+// RatePowerCurves reproduces Fig. 8: the three rate-vs-power relations
+// sampled across the utilization range.
+func RatePowerCurves(steps int) []RatePowerPoint {
+	if steps < 2 {
+		steps = 2
+	}
+	nl, lin, sb := netpower.NonLinearModel{}, netpower.LinearModel{}, netpower.DefaultStateBased()
+	points := make([]RatePowerPoint, steps+1)
+	for i := 0; i <= steps; i++ {
+		u := float64(i) / float64(steps)
+		points[i] = RatePowerPoint{
+			Utilization: u,
+			NonLinear:   nl.DynamicFraction(u),
+			Linear:      lin.DynamicFraction(u),
+			StateBased:  sb.DynamicFraction(u),
+		}
+	}
+	return points
+}
+
+// EnergySplit is one bar pair of Fig. 10: where a transfer's energy
+// goes on one testbed.
+type EnergySplit struct {
+	Testbed         string
+	EndSystem       units.Joules
+	Network         units.Joules
+	EndSystemShare  float64 // percent
+	NetworkShare    float64 // percent
+	MetroRouterHops int
+}
+
+// RunEnergySplit reproduces Fig. 10: run HTEE on the testbed and
+// decompose the total load-dependent energy into the end-system and
+// network-infrastructure components.
+func RunEnergySplit(ctx context.Context, tb testbed.Testbed, seed int64) (EnergySplit, error) {
+	ds := tb.Dataset(seed)
+	res, err := core.HTEE(ctx, transfer.NewSim(tb), ds, tb.MaxConcurrency)
+	if err != nil {
+		return EnergySplit{}, fmt.Errorf("HTEE on %s: %w", tb.Name, err)
+	}
+	total := float64(res.EndSystemEnergy + res.NetworkEnergy)
+	split := EnergySplit{
+		Testbed:   tb.Name,
+		EndSystem: res.EndSystemEnergy,
+		Network:   res.NetworkEnergy,
+	}
+	if total > 0 {
+		split.EndSystemShare = float64(res.EndSystemEnergy) / total * 100
+		split.NetworkShare = float64(res.NetworkEnergy) / total * 100
+	}
+	for _, d := range tb.NetChain {
+		if d.Class == netpower.MetroRouter {
+			split.MetroRouterHops++
+		}
+	}
+	return split, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/testbed"
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// SLATargets are the x-axis target percentages of Figs. 5–7.
+var SLATargets = []float64{0.95, 0.90, 0.80, 0.70, 0.50}
+
+// SLASweep is the Figs. 5–7 experiment on one testbed: SLAEE runs at
+// every target level, referenced against the maximum throughput ProMC
+// achieves at the testbed's reference concurrency.
+type SLASweep struct {
+	Testbed string
+	// Reference is the ProMC run defining "maximum throughput" (§3:
+	// concurrency 12, 12 and 1 on XSEDE, FutureGrid and DIDCLAB).
+	Reference transfer.Report
+	// MaxThroughput is Reference.Throughput.
+	MaxThroughput units.Rate
+	// Targets lists the probed SLA levels (fractions of max).
+	Targets []float64
+	// Results maps target level → SLAEE outcome.
+	Results map[float64]core.SLAResult
+}
+
+// RunSLA executes the full Fig. 5/6/7 experiment on tb.
+func RunSLA(ctx context.Context, tb testbed.Testbed, seed int64) (*SLASweep, error) {
+	ds := tb.Dataset(seed)
+	ref, err := core.ProMC(ctx, transfer.NewSim(tb), ds, tb.SLARefConcurrency)
+	if err != nil {
+		return nil, fmt.Errorf("SLA reference ProMC@%d: %w", tb.SLARefConcurrency, err)
+	}
+	sweep := &SLASweep{
+		Testbed:       tb.Name,
+		Reference:     ref,
+		MaxThroughput: ref.Throughput,
+		Targets:       append([]float64(nil), SLATargets...),
+		Results:       make(map[float64]core.SLAResult),
+	}
+	for _, target := range sweep.Targets {
+		res, err := core.SLAEE(ctx, transfer.NewSim(tb), ds, ref.Throughput, target, tb.MaxConcurrency)
+		if err != nil {
+			return nil, fmt.Errorf("SLAEE@%.0f%%: %w", target*100, err)
+		}
+		sweep.Results[target] = res
+	}
+	return sweep, nil
+}
+
+// EnergySaving returns the energy saved at a target level relative to
+// the maximum-throughput ProMC reference, in percent (Fig. 5b's
+// comparison; the paper reports savings up to 30%).
+func (s *SLASweep) EnergySaving(target float64) float64 {
+	res, ok := s.Results[target]
+	if !ok || s.Reference.EndSystemEnergy <= 0 {
+		return 0
+	}
+	return (1 - float64(res.EndSystemEnergy)/float64(s.Reference.EndSystemEnergy)) * 100
+}

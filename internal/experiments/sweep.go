@@ -1,0 +1,146 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3–§4): the concurrency sweeps of Figs. 2–4, the SLA runs
+// of Figs. 5–7, the rate-power curves of Fig. 8, the end-system vs.
+// network split of Fig. 10, and the §2.2 power-model validation table.
+// Each experiment returns a structured result that can be rendered as
+// markdown/CSV and checked against the paper's qualitative claims.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/testbed"
+	"github.com/didclab/eta/internal/transfer"
+)
+
+// SweepLevels are the x-axis concurrency levels of Figs. 2–4.
+var SweepLevels = []int{1, 2, 4, 6, 8, 10, 12}
+
+// DefaultSeed makes every experiment reproducible.
+const DefaultSeed = 20150615
+
+// Sweep is the Figs. 2–4 experiment: every algorithm across the
+// concurrency levels of one testbed.
+type Sweep struct {
+	Testbed string
+	Levels  []int
+	// Reports maps algorithm → concurrency → completed run. GUC and GO
+	// ignore concurrency; their single run is replicated across levels
+	// the way the paper draws them as flat lines.
+	Reports map[string]map[int]transfer.Report
+	// HTEE holds the adaptive run per max-concurrency level.
+	HTEE map[int]core.HTEEResult
+	// BF is the brute-force reference over 1..BFMaxConcurrency.
+	BF core.BFResult
+}
+
+// RunSweep executes the full Fig. 2/3/4 experiment on tb.
+func RunSweep(ctx context.Context, tb testbed.Testbed, seed int64) (*Sweep, error) {
+	ds := tb.Dataset(seed)
+	s := &Sweep{
+		Testbed: tb.Name,
+		Levels:  append([]int(nil), SweepLevels...),
+		Reports: make(map[string]map[int]transfer.Report),
+		HTEE:    make(map[int]core.HTEEResult),
+	}
+	put := func(algo string, level int, r transfer.Report) {
+		if s.Reports[algo] == nil {
+			s.Reports[algo] = make(map[int]transfer.Report)
+		}
+		s.Reports[algo][level] = r
+	}
+	sim := func() transfer.Executor { return transfer.NewSim(tb) }
+
+	guc, err := core.GUC(ctx, sim(), ds, core.GUCOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("GUC: %w", err)
+	}
+	gor, err := core.GO(ctx, sim(), ds)
+	if err != nil {
+		return nil, fmt.Errorf("GO: %w", err)
+	}
+	for _, level := range s.Levels {
+		put(core.NameGUC, level, guc)
+		put(core.NameGO, level, gor)
+
+		sc, err := core.SC(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, fmt.Errorf("SC@%d: %w", level, err)
+		}
+		put(core.NameSC, level, sc)
+
+		mine, err := core.MinE(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, fmt.Errorf("MinE@%d: %w", level, err)
+		}
+		put(core.NameMinE, level, mine)
+
+		promc, err := core.ProMC(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, fmt.Errorf("ProMC@%d: %w", level, err)
+		}
+		put(core.NameProMC, level, promc)
+
+		htee, err := core.HTEE(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, fmt.Errorf("HTEE@%d: %w", level, err)
+		}
+		put(core.NameHTEE, level, htee.Report)
+		s.HTEE[level] = htee
+	}
+
+	bf, err := core.BF(ctx, sim(), ds, tb.BFMaxConcurrency)
+	if err != nil {
+		return nil, fmt.Errorf("BF: %w", err)
+	}
+	s.BF = bf
+	return s, nil
+}
+
+// Algorithms returns the sweep's algorithm names in the paper's legend
+// order (GUC, GO, SC, MinE, ProMC, HTEE).
+func (s *Sweep) Algorithms() []string {
+	order := []string{core.NameGUC, core.NameGO, core.NameSC, core.NameMinE, core.NameProMC, core.NameHTEE}
+	var out []string
+	for _, a := range order {
+		if _, ok := s.Reports[a]; ok {
+			out = append(out, a)
+		}
+	}
+	// Anything extra (future algorithms) in stable order.
+	var extra []string
+	for a := range s.Reports {
+		found := false
+		for _, o := range order {
+			if a == o {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, a)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// BestEfficiency returns the highest whole-run throughput/energy ratio
+// the brute-force search found — the paper's "best possible value"
+// all panel-(c) bars are normalized against.
+func (s *Sweep) BestEfficiency() float64 {
+	return s.BF.BestReport().Efficiency()
+}
+
+// NormalizedEfficiency returns report r's efficiency relative to the
+// brute-force best (the y-axis of Figs. 2c/3c/4c).
+func (s *Sweep) NormalizedEfficiency(r transfer.Report) float64 {
+	best := s.BestEfficiency()
+	if best <= 0 {
+		return 0
+	}
+	return r.Efficiency() / best
+}

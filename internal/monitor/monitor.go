@@ -1,0 +1,274 @@
+// Package monitor reads the operating-system counters the paper's
+// power models consume — CPU, NIC and disk utilization from procfs —
+// plus, where available, hardware energy counters from the RAPL sysfs
+// interface. This is the "non-intrusive, models the full-system power
+// consumption, provides real-time power prediction" measurement layer
+// (§2.2) used when the real-TCP stack runs a transfer.
+//
+// All readers take their filesystem root from the Monitor so tests can
+// point them at a synthetic tree.
+package monitor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// Monitor reads system counters under a configurable root.
+type Monitor struct {
+	// Root is prepended to every path; "/" when empty.
+	Root string
+}
+
+func (m Monitor) path(p string) string {
+	root := m.Root
+	if root == "" {
+		root = "/"
+	}
+	return filepath.Join(root, p)
+}
+
+// CPUSample is a snapshot of aggregate CPU time.
+type CPUSample struct {
+	Busy  uint64 // jiffies doing work
+	Total uint64 // all jiffies
+}
+
+// ReadCPU parses the aggregate "cpu" line of /proc/stat.
+func (m Monitor) ReadCPU() (CPUSample, error) {
+	data, err := os.ReadFile(m.path("proc/stat"))
+	if err != nil {
+		return CPUSample{}, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 5 || fields[0] != "cpu" {
+			continue
+		}
+		var vals []uint64
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return CPUSample{}, fmt.Errorf("monitor: parsing /proc/stat field %q: %w", f, err)
+			}
+			vals = append(vals, v)
+		}
+		var total uint64
+		for _, v := range vals {
+			total += v
+		}
+		// Fields: user nice system idle iowait irq softirq steal ...
+		idle := vals[3]
+		if len(vals) > 4 {
+			idle += vals[4] // iowait counts as not-busy
+		}
+		return CPUSample{Busy: total - idle, Total: total}, nil
+	}
+	return CPUSample{}, fmt.Errorf("monitor: no aggregate cpu line in /proc/stat")
+}
+
+// CPUUtil returns the utilization percentage between two samples.
+func CPUUtil(prev, cur CPUSample) float64 {
+	dt := float64(cur.Total) - float64(prev.Total)
+	if dt <= 0 {
+		return 0
+	}
+	db := float64(cur.Busy) - float64(prev.Busy)
+	return units.ClampF(db/dt*100, 0, 100)
+}
+
+// NetSample is a snapshot of one interface's byte counters.
+type NetSample struct {
+	RxBytes uint64
+	TxBytes uint64
+}
+
+// ReadNet parses /proc/net/dev for the named interface; an empty name
+// sums all non-loopback interfaces.
+func (m Monitor) ReadNet(iface string) (NetSample, error) {
+	data, err := os.ReadFile(m.path("proc/net/dev"))
+	if err != nil {
+		return NetSample{}, err
+	}
+	var out NetSample
+	found := false
+	for _, line := range strings.Split(string(data), "\n") {
+		idx := strings.IndexByte(line, ':')
+		if idx < 0 {
+			continue
+		}
+		name := strings.TrimSpace(line[:idx])
+		if iface == "" {
+			if name == "lo" {
+				continue
+			}
+		} else if name != iface {
+			continue
+		}
+		fields := strings.Fields(line[idx+1:])
+		if len(fields) < 10 {
+			continue
+		}
+		rx, err1 := strconv.ParseUint(fields[0], 10, 64)
+		tx, err2 := strconv.ParseUint(fields[8], 10, 64)
+		if err1 != nil || err2 != nil {
+			return NetSample{}, fmt.Errorf("monitor: parsing /proc/net/dev line %q", line)
+		}
+		out.RxBytes += rx
+		out.TxBytes += tx
+		found = true
+	}
+	if !found {
+		return NetSample{}, fmt.Errorf("monitor: interface %q not found", iface)
+	}
+	return out, nil
+}
+
+// DiskSample is a snapshot of aggregate disk sector counters.
+type DiskSample struct {
+	SectorsRead    uint64
+	SectorsWritten uint64
+}
+
+// diskSectorBytes is the /proc/diskstats sector unit.
+const diskSectorBytes = 512
+
+// ReadDisk parses /proc/diskstats, summing whole devices (partitions,
+// loop and ram devices are skipped).
+func (m Monitor) ReadDisk() (DiskSample, error) {
+	data, err := os.ReadFile(m.path("proc/diskstats"))
+	if err != nil {
+		return DiskSample{}, err
+	}
+	var out DiskSample
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 10 {
+			continue
+		}
+		name := fields[2]
+		if strings.HasPrefix(name, "loop") || strings.HasPrefix(name, "ram") {
+			continue
+		}
+		// Skip partitions (names ending in a digit with a parent disk
+		// pattern like sda1, nvme0n1p1).
+		if isPartition(name) {
+			continue
+		}
+		read, err1 := strconv.ParseUint(fields[5], 10, 64)
+		written, err2 := strconv.ParseUint(fields[9], 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out.SectorsRead += read
+		out.SectorsWritten += written
+	}
+	return out, nil
+}
+
+func isPartition(name string) bool {
+	if strings.Contains(name, "p") && strings.HasPrefix(name, "nvme") {
+		// nvme0n1 is a disk; nvme0n1p1 is a partition.
+		return strings.Contains(name[strings.Index(name, "n"):], "p")
+	}
+	if len(name) >= 4 && (strings.HasPrefix(name, "sd") || strings.HasPrefix(name, "hd") || strings.HasPrefix(name, "vd")) {
+		last := name[len(name)-1]
+		return last >= '0' && last <= '9'
+	}
+	return false
+}
+
+// raplDomain is one RAPL energy counter.
+type raplDomain struct {
+	energyPath string
+	maxRange   uint64
+}
+
+// RAPL reads the Intel RAPL energy counters under
+// /sys/class/powercap. Counters wrap at max_energy_range_uj; Total
+// handles one wrap per read interval.
+type RAPL struct {
+	domains []raplDomain
+	last    []uint64
+	total   units.Joules
+	primed  bool
+}
+
+// OpenRAPL discovers package-level RAPL domains. It returns ok=false
+// (and no error) when the host exposes none — the caller should fall
+// back to the model-based estimator.
+func OpenRAPL(m Monitor) (*RAPL, bool, error) {
+	base := m.path("sys/class/powercap")
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	r := &RAPL{}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		// Package domains look like intel-rapl:0; subdomains like
+		// intel-rapl:0:0 are contained in their package and skipped.
+		if !strings.HasPrefix(name, "intel-rapl:") || strings.Count(name, ":") != 1 {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dom := raplDomain{energyPath: filepath.Join(base, name, "energy_uj")}
+		if data, err := os.ReadFile(filepath.Join(base, name, "max_energy_range_uj")); err == nil {
+			if v, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64); err == nil {
+				dom.maxRange = v
+			}
+		}
+		if _, err := os.ReadFile(dom.energyPath); err != nil {
+			continue // unreadable domain (permissions)
+		}
+		r.domains = append(r.domains, dom)
+	}
+	if len(r.domains) == 0 {
+		return nil, false, nil
+	}
+	r.last = make([]uint64, len(r.domains))
+	return r, true, nil
+}
+
+// Total returns cumulative energy since the first call.
+func (r *RAPL) Total() (units.Joules, error) {
+	for i, dom := range r.domains {
+		data, err := os.ReadFile(dom.energyPath)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("monitor: parsing %s: %w", dom.energyPath, err)
+		}
+		if r.primed {
+			delta := int64(v) - int64(r.last[i])
+			if delta < 0 && dom.maxRange > 0 {
+				delta += int64(dom.maxRange)
+			}
+			if delta > 0 {
+				r.total += units.Joules(float64(delta) / 1e6)
+			}
+		}
+		r.last[i] = v
+	}
+	r.primed = true
+	return r.total, nil
+}
+
+// Clock abstracts time for tests.
+type Clock func() time.Time

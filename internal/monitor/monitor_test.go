@@ -1,0 +1,254 @@
+package monitor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/didclab/eta/internal/power"
+	"github.com/didclab/eta/internal/units"
+)
+
+// fakeRoot builds a synthetic /proc (+/sys) tree.
+type fakeRoot struct {
+	t    *testing.T
+	root string
+}
+
+func newFakeRoot(t *testing.T) *fakeRoot {
+	return &fakeRoot{t: t, root: t.TempDir()}
+}
+
+func (f *fakeRoot) write(rel, content string) {
+	f.t.Helper()
+	path := filepath.Join(f.root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func (f *fakeRoot) monitor() Monitor { return Monitor{Root: f.root} }
+
+func procStat(busy, idle uint64) string {
+	// user nice system idle iowait irq softirq
+	return fmt.Sprintf("cpu  %d 0 0 %d 0 0 0\ncpu0 %d 0 0 %d 0 0 0\n", busy, idle, busy, idle)
+}
+
+func procNetDev(rx, tx uint64) string {
+	return "Inter-|   Receive                                                |  Transmit\n" +
+		" face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n" +
+		fmt.Sprintf("    lo: 999 9 0 0 0 0 0 0 999 9 0 0 0 0 0 0\n") +
+		fmt.Sprintf("  eth0: %d 100 0 0 0 0 0 0 %d 100 0 0 0 0 0 0\n", rx, tx)
+}
+
+func procDiskstats(read, written uint64) string {
+	return fmt.Sprintf(" 8 0 sda 100 0 %d 0 100 0 %d 0 0 0 0\n", read, written) +
+		fmt.Sprintf(" 8 1 sda1 50 0 999999 0 50 0 999999 0 0 0 0\n") + // partition skipped
+		" 7 0 loop0 1 0 555 0 1 0 555 0 0 0 0\n" // loop skipped
+}
+
+func TestReadCPUAndUtil(t *testing.T) {
+	f := newFakeRoot(t)
+	f.write("proc/stat", procStat(100, 900))
+	m := f.monitor()
+	a, err := m.ReadCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Busy != 100 || a.Total != 1000 {
+		t.Fatalf("sample = %+v", a)
+	}
+	f.write("proc/stat", procStat(200, 1000))
+	b, err := m.ReadCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 busy of 200 total elapsed → 50%.
+	if got := CPUUtil(a, b); got != 50 {
+		t.Errorf("CPUUtil = %v, want 50", got)
+	}
+	if CPUUtil(b, b) != 0 {
+		t.Error("no elapsed time should read 0")
+	}
+}
+
+func TestReadCPUMissing(t *testing.T) {
+	f := newFakeRoot(t)
+	if _, err := f.monitor().ReadCPU(); err == nil {
+		t.Error("missing /proc/stat accepted")
+	}
+	f.write("proc/stat", "intr 1 2 3\n")
+	if _, err := f.monitor().ReadCPU(); err == nil {
+		t.Error("stat without cpu line accepted")
+	}
+}
+
+func TestReadNet(t *testing.T) {
+	f := newFakeRoot(t)
+	f.write("proc/net/dev", procNetDev(12345, 67890))
+	m := f.monitor()
+	s, err := m.ReadNet("eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RxBytes != 12345 || s.TxBytes != 67890 {
+		t.Errorf("sample = %+v", s)
+	}
+	// Empty name sums non-loopback.
+	all, err := m.ReadNet("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != s {
+		t.Errorf("aggregate %+v should exclude loopback and equal eth0", all)
+	}
+	if _, err := m.ReadNet("wlan9"); err == nil {
+		t.Error("unknown interface accepted")
+	}
+}
+
+func TestReadDiskSkipsPartitionsAndLoops(t *testing.T) {
+	f := newFakeRoot(t)
+	f.write("proc/diskstats", procDiskstats(1000, 2000))
+	s, err := f.monitor().ReadDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SectorsRead != 1000 || s.SectorsWritten != 2000 {
+		t.Errorf("sample = %+v (partitions/loops must be skipped)", s)
+	}
+}
+
+func TestIsPartition(t *testing.T) {
+	cases := map[string]bool{
+		"sda": false, "sda1": true, "vdb2": true, "hdc": false,
+		"nvme0n1": false, "nvme0n1p1": true, "md0": false,
+	}
+	for name, want := range cases {
+		if got := isPartition(name); got != want {
+			t.Errorf("isPartition(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestRAPLTotalWithWrap(t *testing.T) {
+	f := newFakeRoot(t)
+	f.write("sys/class/powercap/intel-rapl:0/energy_uj", "1000000\n")
+	f.write("sys/class/powercap/intel-rapl:0/max_energy_range_uj", "2000000\n")
+	f.write("sys/class/powercap/intel-rapl:0:0/energy_uj", "55\n") // subdomain skipped
+	r, ok, err := OpenRAPL(f.monitor())
+	if err != nil || !ok {
+		t.Fatalf("OpenRAPL: ok=%v err=%v", ok, err)
+	}
+	if got, _ := r.Total(); got != 0 {
+		t.Errorf("first read should prime to 0, got %v", got)
+	}
+	f.write("sys/class/powercap/intel-rapl:0/energy_uj", "1500000\n")
+	if got, _ := r.Total(); got != 0.5 {
+		t.Errorf("after +0.5 J: %v", got)
+	}
+	// Wrap: counter falls; max range restores the true delta.
+	f.write("sys/class/powercap/intel-rapl:0/energy_uj", "500000\n")
+	got, err := r.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta = 0.5M−1.5M+2M = 1M µJ = 1 J → total 1.5 J.
+	if got != 1.5 {
+		t.Errorf("after wrap: %v, want 1.5 J", got)
+	}
+}
+
+func TestOpenRAPLAbsent(t *testing.T) {
+	f := newFakeRoot(t)
+	_, ok, err := OpenRAPL(f.monitor())
+	if err != nil || ok {
+		t.Errorf("absent RAPL: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestModelSourceIntegratesEnergy(t *testing.T) {
+	f := newFakeRoot(t)
+	f.write("proc/stat", procStat(0, 1000))
+	f.write("proc/net/dev", procNetDev(0, 0))
+	f.write("proc/diskstats", procDiskstats(0, 0))
+
+	server := LocalServerModel(4, 1*units.Gbps, 1*units.Gbps)
+	model := power.FineGrained{Coeff: power.Coefficients{CPU: power.PaperCPUQuad, Mem: 0.1, Disk: 0.08, NIC: 0.2}}
+	src := NewModelSource(f.monitor(), server, model)
+	now := time.Unix(1000, 0)
+	src.SetClock(func() time.Time { return now })
+
+	if got, err := src.Total(); err != nil || got != 0 {
+		t.Fatalf("priming read: %v, %v", got, err)
+	}
+
+	// One second passes: 50% CPU, 62.5 MB moved (=50% of 1 Gbps), some
+	// disk traffic.
+	f.write("proc/stat", procStat(500, 1500))
+	f.write("proc/net/dev", procNetDev(62_500_000, 0))
+	f.write("proc/diskstats", procDiskstats(100000, 22000))
+	now = now.Add(time.Second)
+	got, err := src.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatalf("no energy accrued: %v", got)
+	}
+	// CPU alone: 50% × C(1)=0.273 → 13.65 W; NIC 50% × 0.2 → 10 W. The
+	// total must be at least those two components for 1 s.
+	if got < 23 {
+		t.Errorf("energy %v J below CPU+NIC floor 23.65 J", got)
+	}
+
+	// No time elapsed → no further accrual.
+	again, err := src.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Errorf("energy accrued with zero elapsed time: %v → %v", got, again)
+	}
+}
+
+func TestModelSourceMissingProc(t *testing.T) {
+	f := newFakeRoot(t)
+	src := NewModelSource(f.monitor(), LocalServerModel(2, 0, 0), power.FineGrained{Coeff: power.Coefficients{CPU: power.PaperCPUQuad}})
+	if _, err := src.Total(); err == nil {
+		t.Error("missing proc tree accepted")
+	}
+}
+
+func TestAutoSourceFallsBackToModel(t *testing.T) {
+	f := newFakeRoot(t)
+	f.write("proc/stat", procStat(0, 100))
+	f.write("proc/net/dev", procNetDev(0, 0))
+	f.write("proc/diskstats", procDiskstats(0, 0))
+	src, usedRAPL, err := AutoSource(f.monitor(), LocalServerModel(2, 0, 0),
+		power.FineGrained{Coeff: power.Coefficients{CPU: power.PaperCPUQuad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedRAPL {
+		t.Error("claimed RAPL without sysfs entries")
+	}
+	if _, err := src.Total(); err != nil {
+		t.Errorf("model fallback unusable: %v", err)
+	}
+}
+
+func TestLocalServerModelDefaults(t *testing.T) {
+	s := LocalServerModel(0, 0, 0)
+	if s.Cores != 1 || s.NICRate <= 0 || s.Disk.Rate <= 0 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("local model invalid: %v", err)
+	}
+}

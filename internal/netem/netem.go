@@ -1,0 +1,160 @@
+// Package netem is the analytic wide-area TCP path model that the
+// simulated transfer executor runs on. It captures exactly the effects
+// the paper's parameter tuning exploits (§2.1):
+//
+//   - a single TCP stream is window-limited to buffer/RTT (so
+//     *parallelism* multiplies throughput on high-BDP paths),
+//   - loss caps a stream at the Mathis rate MSS/RTT · C/√p,
+//   - every additional stream adds congestion/overhead, so aggregate
+//     throughput rolls off as stream count grows (*too many streams
+//     cause network congestion and throughput decline*),
+//   - each file transfer costs a control-channel round trip that
+//     *pipelining* amortizes,
+//   - cold connections ramp through slow start, which matters for
+//     files comparable to the BDP.
+package netem
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// MathisC is the constant of the Mathis steady-state TCP model
+// (sqrt(3/2) for delayed-ACK-free Reno).
+const MathisC = 1.22
+
+// DefaultMSS is the Ethernet-path maximum segment size.
+const DefaultMSS units.Bytes = 1500
+
+// Path describes one end-to-end network path.
+type Path struct {
+	// Bandwidth is the bottleneck link capacity.
+	Bandwidth units.Rate
+	// RTT is the round-trip time.
+	RTT time.Duration
+	// MaxTCPBuffer is the administratively configured maximum TCP
+	// buffer (32 MB on the paper's testbeds). The parallelism formula
+	// in Algorithms 1–3 uses this value.
+	MaxTCPBuffer units.Bytes
+	// EffStreamBuffer is the buffer a single stream actually gets from
+	// OS autotuning before parallelism is applied. It is what limits
+	// an untuned single-stream transfer (GUC) far below MaxTCPBuffer.
+	EffStreamBuffer units.Bytes
+	// LossRate is the stationary packet loss probability.
+	LossRate float64
+	// MSS is the segment size; DefaultMSS when zero.
+	MSS units.Bytes
+	// CongestionCoeff is c in the aggregate efficiency 1/(1+c·k) for k
+	// concurrent streams. Zero means no roll-off.
+	CongestionCoeff float64
+}
+
+// Validate reports a descriptive error for physically meaningless paths.
+func (p Path) Validate() error {
+	switch {
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("netem: non-positive bandwidth %v", p.Bandwidth)
+	case p.RTT < 0:
+		return fmt.Errorf("netem: negative RTT %v", p.RTT)
+	case p.EffStreamBuffer <= 0:
+		return fmt.Errorf("netem: non-positive effective stream buffer %v", p.EffStreamBuffer)
+	case p.MaxTCPBuffer < p.EffStreamBuffer:
+		return fmt.Errorf("netem: max buffer %v below effective buffer %v", p.MaxTCPBuffer, p.EffStreamBuffer)
+	case p.LossRate < 0 || p.LossRate >= 1:
+		return fmt.Errorf("netem: loss rate %v outside [0,1)", p.LossRate)
+	case p.CongestionCoeff < 0:
+		return fmt.Errorf("netem: negative congestion coefficient %v", p.CongestionCoeff)
+	default:
+		return nil
+	}
+}
+
+func (p Path) mss() units.Bytes {
+	if p.MSS > 0 {
+		return p.MSS
+	}
+	return DefaultMSS
+}
+
+// BDP returns the bandwidth-delay product of the path.
+func (p Path) BDP() units.Bytes { return units.BDP(p.Bandwidth, p.RTT) }
+
+// StreamCap returns the steady-state throughput ceiling of one TCP
+// stream: the minimum of the window limit (effective buffer over RTT)
+// and the Mathis loss limit, both bounded by the link capacity.
+func (p Path) StreamCap() units.Rate {
+	cap := p.Bandwidth
+	if p.RTT > 0 {
+		window := units.RateOf(p.EffStreamBuffer, p.RTT)
+		if window < cap {
+			cap = window
+		}
+	}
+	if p.LossRate > 0 && p.RTT > 0 {
+		mathis := units.Rate(p.mss().Bits() / p.RTT.Seconds() * MathisC / math.Sqrt(p.LossRate))
+		if mathis < cap {
+			cap = mathis
+		}
+	}
+	return cap
+}
+
+// Efficiency returns the aggregate efficiency factor for k concurrent
+// streams: 1/(1 + c·k). It models the end-to-end overhead and induced
+// congestion that make throughput sub-linear in stream count.
+func (p Path) Efficiency(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return 1 / (1 + p.CongestionCoeff*float64(k))
+}
+
+// AggregateRate returns the total steady-state throughput of k
+// concurrent streams: min(k·streamCap, bandwidth·efficiency(k)).
+func (p Path) AggregateRate(k int) units.Rate {
+	if k <= 0 {
+		return 0
+	}
+	linear := units.Rate(float64(k)) * p.StreamCap()
+	capped := units.Rate(float64(p.Bandwidth) * p.Efficiency(k))
+	if linear < capped {
+		return linear
+	}
+	return capped
+}
+
+// PerFileIdle returns the control-channel idle time paid per file at a
+// given pipelining level: one RTT amortized over the pipelined request
+// depth. This is the quantity pipelining exists to shrink (§2.1:
+// pipelining "prevents RTT delays between sender and receiver nodes and
+// keeps the transfer channel active").
+func (p Path) PerFileIdle(pipelining int) time.Duration {
+	if pipelining < 1 {
+		pipelining = 1
+	}
+	return p.RTT / time.Duration(pipelining)
+}
+
+// SlowStartBytes returns the bytes a cold connection moves before its
+// congestion window reaches the steady-state operating point; the
+// simulator charges these at half rate. One BDP-equivalent of the
+// stream's own cap is the textbook slow-start cost.
+func (p Path) SlowStartBytes() units.Bytes {
+	if p.RTT <= 0 {
+		return 0
+	}
+	return p.StreamCap().BytesIn(p.RTT)
+}
+
+// PacketCount returns the number of MSS-sized packets needed to carry
+// the payload, the quantity the network-device energy model consumes.
+func (p Path) PacketCount(payload units.Bytes) int64 {
+	if payload <= 0 {
+		return 0
+	}
+	mss := p.mss()
+	return int64((payload + mss - 1) / mss)
+}

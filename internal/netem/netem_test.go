@@ -1,0 +1,218 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// xsedeLike is a 10 Gbps, 40 ms path similar to the paper's XSEDE link.
+func xsedeLike() Path {
+	return Path{
+		Bandwidth:       10 * units.Gbps,
+		RTT:             40 * time.Millisecond,
+		MaxTCPBuffer:    32 * units.MB,
+		EffStreamBuffer: 4 * units.MB,
+		CongestionCoeff: 0.014,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := xsedeLike().Validate(); err != nil {
+		t.Fatalf("valid path rejected: %v", err)
+	}
+	bad := []Path{
+		{},
+		{Bandwidth: units.Gbps, RTT: -time.Second, EffStreamBuffer: units.MB, MaxTCPBuffer: units.MB},
+		{Bandwidth: units.Gbps, EffStreamBuffer: 0, MaxTCPBuffer: units.MB},
+		{Bandwidth: units.Gbps, EffStreamBuffer: 2 * units.MB, MaxTCPBuffer: units.MB},
+		{Bandwidth: units.Gbps, EffStreamBuffer: units.MB, MaxTCPBuffer: units.MB, LossRate: 1},
+		{Bandwidth: units.Gbps, EffStreamBuffer: units.MB, MaxTCPBuffer: units.MB, CongestionCoeff: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid path accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestStreamCapWindowLimited(t *testing.T) {
+	p := xsedeLike()
+	// 4 MB / 40 ms = 800 Mbps.
+	want := 800 * units.Mbps
+	if got := p.StreamCap(); math.Abs(float64(got-want)) > 1e3 {
+		t.Errorf("StreamCap = %v, want %v", got, want)
+	}
+}
+
+func TestStreamCapLANIsBandwidthLimited(t *testing.T) {
+	lan := Path{
+		Bandwidth:       1 * units.Gbps,
+		RTT:             200 * time.Microsecond,
+		MaxTCPBuffer:    32 * units.MB,
+		EffStreamBuffer: 1 * units.MB,
+	}
+	if got := lan.StreamCap(); got != 1*units.Gbps {
+		t.Errorf("LAN StreamCap = %v, want full bandwidth", got)
+	}
+	if lan.SlowStartBytes() > lan.BDP() {
+		t.Errorf("slow-start bytes %v exceed BDP %v", lan.SlowStartBytes(), lan.BDP())
+	}
+}
+
+func TestStreamCapLossLimited(t *testing.T) {
+	p := xsedeLike()
+	p.LossRate = 0.001
+	// Mathis: 1500*8/0.040 * 1.22/sqrt(0.001) = 300000 * 38.58 ≈ 11.6 Mbps.
+	got := p.StreamCap()
+	want := units.Rate(1500 * 8 / 0.040 * MathisC / math.Sqrt(0.001))
+	if math.Abs(float64(got-want)) > 1e3 {
+		t.Errorf("loss-limited StreamCap = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateRateMonotoneAndBounded(t *testing.T) {
+	p := xsedeLike()
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%64) + 1
+		r1 := p.AggregateRate(k)
+		r2 := p.AggregateRate(k + 1)
+		// More streams never exceed the link and never help once the
+		// efficiency roll-off dominates more than linear growth caps.
+		return r1 <= p.Bandwidth && r2 <= p.Bandwidth && r1 > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if p.AggregateRate(0) != 0 {
+		t.Error("zero streams should carry nothing")
+	}
+}
+
+func TestAggregateRateShape(t *testing.T) {
+	p := xsedeLike()
+	// One 800 Mbps stream; paper's GUC base case is ≈1 Gbps on XSEDE.
+	one := p.AggregateRate(1)
+	if one < 700*units.Mbps || one > 900*units.Mbps {
+		t.Errorf("1-stream rate %v outside GUC-like band", one)
+	}
+	// 24 streams (ProMC at concurrency 12 × parallelism 2) should reach
+	// roughly 7–8 Gbps, the paper's peak.
+	many := p.AggregateRate(24)
+	if many < 7*units.Gbps || many > 8*units.Gbps {
+		t.Errorf("24-stream rate %v outside ProMC-like band", many)
+	}
+	if many <= one {
+		t.Error("parallel streams must outperform a single stream on a high-BDP path")
+	}
+}
+
+func TestEfficiencyDecreasing(t *testing.T) {
+	p := xsedeLike()
+	prev := p.Efficiency(0)
+	for k := 1; k <= 40; k++ {
+		e := p.Efficiency(k)
+		if e > prev || e <= 0 || e > 1 {
+			t.Fatalf("efficiency not decreasing in (0,1]: k=%d e=%v prev=%v", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestPerFileIdle(t *testing.T) {
+	p := xsedeLike()
+	if got := p.PerFileIdle(1); got != 40*time.Millisecond {
+		t.Errorf("unpipelined idle = %v, want RTT", got)
+	}
+	if got := p.PerFileIdle(0); got != 40*time.Millisecond {
+		t.Errorf("pipelining<1 should clamp to 1, got %v", got)
+	}
+	if got := p.PerFileIdle(8); got != 5*time.Millisecond {
+		t.Errorf("idle at q=8 = %v, want 5ms", got)
+	}
+	// Deeper pipelining never increases idle.
+	prev := p.PerFileIdle(1)
+	for q := 2; q <= 32; q++ {
+		cur := p.PerFileIdle(q)
+		if cur > prev {
+			t.Fatalf("idle grew with pipelining: q=%d %v > %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPacketCount(t *testing.T) {
+	p := xsedeLike()
+	if got := p.PacketCount(0); got != 0 {
+		t.Errorf("PacketCount(0) = %d", got)
+	}
+	if got := p.PacketCount(1); got != 1 {
+		t.Errorf("PacketCount(1) = %d", got)
+	}
+	if got := p.PacketCount(1500); got != 1 {
+		t.Errorf("PacketCount(1500) = %d", got)
+	}
+	if got := p.PacketCount(1501); got != 2 {
+		t.Errorf("PacketCount(1501) = %d", got)
+	}
+	if got := p.PacketCount(150 * units.MB); got != 100000 {
+		t.Errorf("PacketCount(150MB) = %d", got)
+	}
+}
+
+func TestBDP(t *testing.T) {
+	if got := xsedeLike().BDP(); got != 50*units.MB {
+		t.Errorf("BDP = %v, want 50MB", got)
+	}
+}
+
+func TestSlowStartBytes(t *testing.T) {
+	p := xsedeLike()
+	// Stream cap 800 Mbps × 40 ms = 4 MB.
+	if got := p.SlowStartBytes(); got != 4*units.MB {
+		t.Errorf("SlowStartBytes = %v, want 4MB", got)
+	}
+	p.RTT = 0
+	if got := p.SlowStartBytes(); got != 0 {
+		t.Errorf("zero-RTT slow start = %v, want 0", got)
+	}
+}
+
+func TestAggregateRateDemandCrossover(t *testing.T) {
+	// Below the knee aggregate grows ~linearly with streams; past it,
+	// the link cap with efficiency roll-off takes over. The crossover
+	// must sit where k·streamCap first exceeds the capped bandwidth.
+	p := xsedeLike()
+	cap := float64(p.StreamCap())
+	for k := 1; k <= 32; k++ {
+		got := float64(p.AggregateRate(k))
+		linear := float64(k) * cap
+		capped := float64(p.Bandwidth) * p.Efficiency(k)
+		want := math.Min(linear, capped)
+		if math.Abs(got-want) > 1 {
+			t.Fatalf("k=%d: AggregateRate=%v want min(%v,%v)", k, got, linear, capped)
+		}
+	}
+}
+
+func TestLossDominatesWindowWhenSevere(t *testing.T) {
+	p := xsedeLike()
+	clean := p.StreamCap()
+	p.LossRate = 0.01
+	lossy := p.StreamCap()
+	if lossy >= clean/10 {
+		t.Errorf("1%% loss should collapse the stream cap: %v vs %v", lossy, clean)
+	}
+}
+
+func TestSlowStartSmallerThanBDPWhenWindowLimited(t *testing.T) {
+	// A window-limited stream never ramps past its own cap's worth of
+	// in-flight data, so slow-start bytes ≤ BDP always.
+	p := xsedeLike()
+	if p.SlowStartBytes() > p.BDP() {
+		t.Errorf("slow start %v exceeds BDP %v", p.SlowStartBytes(), p.BDP())
+	}
+}

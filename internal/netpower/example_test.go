@@ -1,0 +1,24 @@
+package netpower_test
+
+import (
+	"fmt"
+
+	"github.com/didclab/eta/internal/netpower"
+	"github.com/didclab/eta/internal/units"
+)
+
+func ExampleChain_TransferEnergy() {
+	// The DIDCLAB LAN path: one edge switch. A 40 GB transfer costs
+	// roughly the 0.4 kJ of Fig. 10.
+	chain := netpower.Chain{{Class: netpower.EdgeSwitch}}
+	fmt.Println(chain.TransferEnergy(40*units.GB, 1500))
+	// Output: 424.57J
+}
+
+func ExampleNonLinearModel_DynamicFraction() {
+	// Under the sub-linear relation, quadrupling the rate only doubles
+	// the power — so faster transfers save network energy (§4).
+	m := netpower.NonLinearModel{}
+	fmt.Printf("%.2f %.2f\n", m.DynamicFraction(0.25), m.DynamicFraction(1.0))
+	// Output: 0.50 1.00
+}

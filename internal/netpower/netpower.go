@@ -1,0 +1,215 @@
+// Package netpower implements the paper's §4 analysis of what the
+// transfer algorithms do to the *networking infrastructure's* energy:
+//
+//   - the Vishwanath et al. per-packet device model (Eq. 5):
+//     P = P_idle + packetCount · (P_p + P_s−f)
+//     with the Table 1 per-device coefficients,
+//   - the three rate-vs-power relations of Fig. 8 (non-linear, linear,
+//     state-based) used to reason about dynamic energy under protocol
+//     tuning,
+//   - device chains (Fig. 9) so testbeds can integrate network energy
+//     along the actual path.
+package netpower
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// DeviceClass is a type of network device from Table 1.
+type DeviceClass int
+
+// Device classes in Table 1 order.
+const (
+	EnterpriseSwitch DeviceClass = iota
+	EdgeSwitch
+	MetroRouter
+	EdgeRouter
+)
+
+// String names the class as the paper does.
+func (c DeviceClass) String() string {
+	switch c {
+	case EnterpriseSwitch:
+		return "Enterprise Ethernet Switch"
+	case EdgeSwitch:
+		return "Edge Ethernet Switch"
+	case MetroRouter:
+		return "Metro IP Router"
+	case EdgeRouter:
+		return "Edge IP Router"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}
+
+// Table1 holds the per-packet power consumption coefficients for
+// load-dependent operations, exactly as printed in the paper:
+// P_p (processing) in nanowatts, P_s−f (store-and-forward) in picowatts.
+var Table1 = map[DeviceClass]Coefficients{
+	EnterpriseSwitch: {PpNanoWatt: 40, PsfPicoWatt: 0.42},
+	EdgeSwitch:       {PpNanoWatt: 1571, PsfPicoWatt: 14.1},
+	MetroRouter:      {PpNanoWatt: 1375, PsfPicoWatt: 21.6},
+	EdgeRouter:       {PpNanoWatt: 1707, PsfPicoWatt: 15.3},
+}
+
+// Coefficients are one device class's Table 1 row.
+type Coefficients struct {
+	PpNanoWatt  float64 // per-packet processing
+	PsfPicoWatt float64 // per-packet store-and-forward, per byte
+}
+
+// PacketEnergyScale converts a Table 1 row into joules per packet.
+// The paper prints the coefficients as "per-packet power" without the
+// time base needed to integrate them into energy; we interpret them as
+// energy per packet with a 10 ns effective time base, the single
+// constant that makes the one-switch DIDCLAB path reproduce Fig. 10's
+// 0.4 kJ network share — and then, with no further tuning, lands XSEDE
+// and FutureGrid within a few percent of their Fig. 10 values too
+// (see DESIGN.md §2).
+const PacketEnergyScale = 10e-9 // seconds
+
+// Device is a network element on a transfer path.
+type Device struct {
+	Class DeviceClass
+	Name  string
+	// IdlePower is the load-independent draw; the paper notes idle
+	// power is 70–80% of total for typical devices but excludes it
+	// from the algorithm comparison because it does not depend on the
+	// transfer ("we just considered load-dependent part").
+	IdlePower units.Watts
+	// MaxDynamicPower is the extra draw at 100% utilization, used by
+	// the Fig. 8 rate-model analysis.
+	MaxDynamicPower units.Watts
+}
+
+// Coeff returns the device's Table 1 coefficients.
+func (d Device) Coeff() Coefficients { return Table1[d.Class] }
+
+// PerPacketEnergy returns the load-dependent energy one packet of the
+// given size costs on this device (Eq. 5's P_p + P_s−f term).
+func (d Device) PerPacketEnergy(packetSize units.Bytes) units.Joules {
+	c := d.Coeff()
+	processing := c.PpNanoWatt * 1e-9
+	storeForward := c.PsfPicoWatt * 1e-12 * float64(packetSize)
+	return units.Joules((processing + storeForward) / 1e-9 * PacketEnergyScale)
+}
+
+// Chain is the ordered device path between the transfer end-systems
+// (Fig. 9).
+type Chain []Device
+
+// TransferEnergy returns the load-dependent network energy of moving
+// payload bytes in packetSize packets across every device in the chain.
+func (ch Chain) TransferEnergy(payload, packetSize units.Bytes) units.Joules {
+	if payload <= 0 || packetSize <= 0 {
+		return 0
+	}
+	packets := float64((payload + packetSize - 1) / packetSize)
+	var total units.Joules
+	for _, d := range ch {
+		total += units.Joules(packets) * d.PerPacketEnergy(packetSize)
+	}
+	return total
+}
+
+// IdleEnergy returns the chain's load-independent energy over d —
+// reported separately because it is unaffected by protocol tuning.
+func (ch Chain) IdleEnergy(d time.Duration) units.Joules {
+	var total units.Joules
+	for _, dev := range ch {
+		total += units.Energy(dev.IdlePower, d)
+	}
+	return total
+}
+
+// RateModel is one of the Fig. 8 relations between data traffic rate
+// and dynamic power. DynamicFraction maps utilization in [0,1] to the
+// fraction of MaxDynamicPower drawn.
+type RateModel interface {
+	DynamicFraction(util float64) float64
+	Name() string
+}
+
+// LinearModel draws power proportionally to the traffic rate. Under it,
+// total dynamic network energy is rate-independent: pushing data k×
+// faster draws k× power for 1/k the time (§4).
+type LinearModel struct{}
+
+// DynamicFraction returns util itself.
+func (LinearModel) DynamicFraction(util float64) float64 {
+	return units.ClampF(util, 0, 1)
+}
+
+// Name returns "linear".
+func (LinearModel) Name() string { return "linear" }
+
+// NonLinearModel draws power sub-linearly (square root) in the traffic
+// rate, after Mahadevan et al.'s edge-switch measurements. Under it,
+// faster transfers *save* network energy: quadrupling the rate doubles
+// power but quarters time (§4's worked example).
+type NonLinearModel struct{}
+
+// DynamicFraction returns √util.
+func (NonLinearModel) DynamicFraction(util float64) float64 {
+	return math.Sqrt(units.ClampF(util, 0, 1))
+}
+
+// Name returns "non-linear".
+func (NonLinearModel) Name() string { return "non-linear" }
+
+// StateBasedModel steps power up only at discrete throughput states
+// (link-rate adaptation à la Shang et al.); its fitted regression line
+// is linear, so its energy behaviour matches LinearModel (§4).
+type StateBasedModel struct {
+	// Steps are utilization thresholds (ascending); crossing step i
+	// raises the dynamic fraction to Fractions[i].
+	Steps     []float64
+	Fractions []float64
+}
+
+// DefaultStateBased returns a five-state ladder resembling Fig. 8. The
+// steps straddle the linear line so the ladder's fitted regression is
+// the linear model (the property §4 relies on when arguing state-based
+// devices behave like linear ones on average).
+func DefaultStateBased() StateBasedModel {
+	return StateBasedModel{
+		Steps:     []float64{0.0, 0.25, 0.5, 0.75, 1.0},
+		Fractions: []float64{0.125, 0.375, 0.625, 0.875, 1.0},
+	}
+}
+
+// DynamicFraction returns the fraction of the highest crossed step.
+func (m StateBasedModel) DynamicFraction(util float64) float64 {
+	util = units.ClampF(util, 0, 1)
+	frac := 0.0
+	for i, step := range m.Steps {
+		if util >= step && i < len(m.Fractions) {
+			frac = m.Fractions[i]
+		}
+	}
+	if util == 0 {
+		return 0
+	}
+	return frac
+}
+
+// Name returns "state-based".
+func (StateBasedModel) Name() string { return "state-based" }
+
+// DynamicEnergy integrates a rate model over a transfer: moving payload
+// at the given rate on a device with the given capacity and maximum
+// dynamic power. This is the §4 thought experiment quantifying whether
+// the algorithms' rate changes help or hurt the network side.
+func DynamicEnergy(m RateModel, dev Device, payload units.Bytes, rate, capacity units.Rate) units.Joules {
+	if payload <= 0 || rate <= 0 || capacity <= 0 {
+		return 0
+	}
+	util := units.ClampF(float64(rate)/float64(capacity), 0, 1)
+	duration := time.Duration(float64(payload.Bits()) / float64(rate) * float64(time.Second))
+	power := units.Watts(m.DynamicFraction(util)) * dev.MaxDynamicPower
+	return units.Energy(power, duration)
+}

@@ -1,0 +1,201 @@
+package netpower
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+func TestTable1Complete(t *testing.T) {
+	for _, c := range []DeviceClass{EnterpriseSwitch, EdgeSwitch, MetroRouter, EdgeRouter} {
+		row, ok := Table1[c]
+		if !ok {
+			t.Fatalf("missing Table 1 row for %v", c)
+		}
+		if row.PpNanoWatt <= 0 || row.PsfPicoWatt <= 0 {
+			t.Errorf("%v has non-positive coefficients %+v", c, row)
+		}
+	}
+	// Spot-check the printed values.
+	if Table1[EdgeSwitch].PpNanoWatt != 1571 || Table1[MetroRouter].PsfPicoWatt != 21.6 {
+		t.Error("Table 1 values do not match the paper")
+	}
+}
+
+func TestPerPacketEnergyOrdering(t *testing.T) {
+	// Routers and edge switches cost orders of magnitude more per
+	// packet than enterprise switches (Table 1).
+	ent := Device{Class: EnterpriseSwitch}.PerPacketEnergy(1500)
+	edge := Device{Class: EdgeSwitch}.PerPacketEnergy(1500)
+	metro := Device{Class: MetroRouter}.PerPacketEnergy(1500)
+	edgeR := Device{Class: EdgeRouter}.PerPacketEnergy(1500)
+	if !(ent < edge && edge < edgeR && metro < edgeR) {
+		t.Errorf("per-packet energy ordering wrong: ent=%v edge=%v metro=%v edgeR=%v",
+			ent, edge, metro, edgeR)
+	}
+}
+
+func TestDIDCLABEnergyMatchesFig10(t *testing.T) {
+	// Fig. 10: the 40 GB DIDCLAB transfer crosses a single edge switch
+	// and costs ≈0.4 kJ of network energy.
+	chain := Chain{{Class: EdgeSwitch, Name: "lan-sw"}}
+	got := chain.TransferEnergy(40*units.GB, 1500)
+	if got < 300 || got > 500 {
+		t.Errorf("DIDCLAB network energy = %v, want ≈420 J (Fig. 10: 0.4 kJ)", got)
+	}
+}
+
+func TestXSEDEEnergyMatchesFig10(t *testing.T) {
+	// Fig. 9a: edge switch + enterprise switch + edge router per side,
+	// plus the Internet2 core (modelled as two metro routers). 160 GB
+	// should land near Fig. 10's 10 kJ.
+	side := []Device{{Class: EdgeSwitch}, {Class: EnterpriseSwitch}, {Class: EdgeRouter}}
+	chain := Chain{}
+	chain = append(chain, side...)
+	chain = append(chain, Device{Class: MetroRouter}, Device{Class: MetroRouter})
+	chain = append(chain, side...)
+	got := chain.TransferEnergy(160*units.GB, 1500)
+	if got < 8000 || got > 12000 {
+		t.Errorf("XSEDE network energy = %v, want ≈10 kJ (Fig. 10)", got)
+	}
+}
+
+func TestTransferEnergyZeroInputs(t *testing.T) {
+	chain := Chain{{Class: EdgeSwitch}}
+	if chain.TransferEnergy(0, 1500) != 0 || chain.TransferEnergy(units.MB, 0) != 0 {
+		t.Error("degenerate inputs should cost nothing")
+	}
+	if (Chain{}).TransferEnergy(units.GB, 1500) != 0 {
+		t.Error("empty chain should cost nothing")
+	}
+}
+
+func TestTransferEnergyAdditiveInDevices(t *testing.T) {
+	a := Chain{{Class: EdgeSwitch}}
+	b := Chain{{Class: MetroRouter}}
+	both := Chain{{Class: EdgeSwitch}, {Class: MetroRouter}}
+	payload := units.Bytes(10 * units.GB)
+	sum := a.TransferEnergy(payload, 1500) + b.TransferEnergy(payload, 1500)
+	if got := both.TransferEnergy(payload, 1500); math.Abs(float64(got-sum)) > 1e-9 {
+		t.Errorf("chain energy not additive: %v vs %v", got, sum)
+	}
+}
+
+func TestTransferEnergyMonotoneInPayload(t *testing.T) {
+	chain := Chain{{Class: EdgeRouter}}
+	f := func(a, b uint32) bool {
+		lo, hi := units.Bytes(a), units.Bytes(a)+units.Bytes(b)
+		return chain.TransferEnergy(hi, 1500) >= chain.TransferEnergy(lo, 1500)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	chain := Chain{
+		{Class: EdgeSwitch, IdlePower: 100},
+		{Class: MetroRouter, IdlePower: 400},
+	}
+	if got := chain.IdleEnergy(10 * time.Second); got != 5000 {
+		t.Errorf("idle energy = %v, want 5000 J", got)
+	}
+}
+
+func TestLinearModelRateIndependence(t *testing.T) {
+	// §4: under the linear relation, total dynamic energy is the same
+	// at rate d and rate 4d.
+	dev := Device{Class: EdgeSwitch, MaxDynamicPower: 50}
+	payload := units.Bytes(10 * units.GB)
+	e1 := DynamicEnergy(LinearModel{}, dev, payload, 1*units.Gbps, 10*units.Gbps)
+	e4 := DynamicEnergy(LinearModel{}, dev, payload, 4*units.Gbps, 10*units.Gbps)
+	if math.Abs(float64(e1-e4))/float64(e1) > 1e-9 {
+		t.Errorf("linear model not rate-independent: %v vs %v", e1, e4)
+	}
+}
+
+func TestNonLinearModelHalvesEnergyAtQuadRate(t *testing.T) {
+	// §4's worked example: quadrupling the rate under the square-root
+	// relation halves the dynamic energy.
+	dev := Device{Class: EdgeSwitch, MaxDynamicPower: 50}
+	payload := units.Bytes(10 * units.GB)
+	e1 := DynamicEnergy(NonLinearModel{}, dev, payload, 1*units.Gbps, 10*units.Gbps)
+	e4 := DynamicEnergy(NonLinearModel{}, dev, payload, 4*units.Gbps, 10*units.Gbps)
+	if ratio := float64(e4) / float64(e1); math.Abs(ratio-0.5) > 1e-9 {
+		t.Errorf("non-linear 4× rate energy ratio = %v, want 0.5", ratio)
+	}
+}
+
+func TestStateBasedMatchesLinearOnAverage(t *testing.T) {
+	// The fitted regression line of the state ladder is linear; average
+	// dynamic fraction across the utilization sweep should be close to
+	// the linear model's.
+	m := DefaultStateBased()
+	var sumState, sumLinear float64
+	for u := 0.05; u <= 1.0; u += 0.05 {
+		sumState += m.DynamicFraction(u)
+		sumLinear += LinearModel{}.DynamicFraction(u)
+	}
+	if math.Abs(sumState-sumLinear)/sumLinear > 0.25 {
+		t.Errorf("state-based average %v too far from linear %v", sumState, sumLinear)
+	}
+}
+
+func TestRateModelBounds(t *testing.T) {
+	models := []RateModel{LinearModel{}, NonLinearModel{}, DefaultStateBased()}
+	f := func(raw uint16) bool {
+		u := float64(raw) / 65535 * 1.5 // deliberately exceeds 1
+		for _, m := range models {
+			frac := m.DynamicFraction(u)
+			if frac < 0 || frac > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, m := range models {
+		if m.DynamicFraction(0) != 0 {
+			t.Errorf("%s: zero utilization should draw zero dynamic power", m.Name())
+		}
+		if m.DynamicFraction(1) != 1 {
+			t.Errorf("%s: full utilization should draw full dynamic power", m.Name())
+		}
+	}
+}
+
+func TestNonLinearAboveLinearBelowCapacity(t *testing.T) {
+	// Fig. 8: the non-linear curve sits above the linear one in the
+	// interior (sub-linear growth of power with rate means early watts).
+	nl, lin := NonLinearModel{}, LinearModel{}
+	for _, u := range []float64{0.1, 0.3, 0.5, 0.9} {
+		if nl.DynamicFraction(u) <= lin.DynamicFraction(u) {
+			t.Errorf("at util %v non-linear %v not above linear %v",
+				u, nl.DynamicFraction(u), lin.DynamicFraction(u))
+		}
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	if EdgeSwitch.String() != "Edge Ethernet Switch" || DeviceClass(9).String() != "DeviceClass(9)" {
+		t.Error("device class names wrong")
+	}
+}
+
+func TestDynamicEnergyDegenerate(t *testing.T) {
+	dev := Device{Class: EdgeSwitch, MaxDynamicPower: 50}
+	if DynamicEnergy(LinearModel{}, dev, 0, units.Gbps, 10*units.Gbps) != 0 {
+		t.Error("zero payload should cost nothing")
+	}
+	if DynamicEnergy(LinearModel{}, dev, units.GB, 0, 10*units.Gbps) != 0 {
+		t.Error("zero rate should cost nothing")
+	}
+	if DynamicEnergy(LinearModel{}, dev, units.GB, units.Gbps, 0) != 0 {
+		t.Error("zero capacity should cost nothing")
+	}
+}

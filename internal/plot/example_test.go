@@ -1,0 +1,15 @@
+package plot_test
+
+import (
+	"fmt"
+
+	"github.com/didclab/eta/internal/plot"
+)
+
+func ExampleNiceTicks() {
+	fmt.Println(plot.NiceTicks(0, 10, 5))
+	fmt.Println(plot.NiceTicks(0, 7500, 6))
+	// Output:
+	// [0 2 4 6 8 10]
+	// [0 2000 4000 6000]
+}

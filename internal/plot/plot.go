@@ -1,0 +1,276 @@
+// Package plot renders line and grouped-bar charts as standalone SVG
+// using only the standard library, so the reproduction can regenerate
+// the paper's figures as images (results/figures/*.svg) without any
+// plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line (or bar group member).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Kind selects the mark type.
+type Kind int
+
+// Chart kinds.
+const (
+	Line Kind = iota
+	Bars
+)
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Kind   Kind
+	// Width and Height of the SVG; 640×420 when zero.
+	Width, Height int
+	// YMin/YMax pin the y-range; nil means auto.
+	YMin, YMax *float64
+	// XTickLabels overrides numeric x labels for bar charts (indexed
+	// by position).
+	XTickLabels []string
+}
+
+// palette holds the line/bar colors (colorblind-safe Okabe–Ito).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 48.0
+	legendRow    = 16.0
+)
+
+// SVG renders the chart.
+func (c Chart) SVG() string {
+	w, h := float64(c.Width), float64(c.Height)
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif" font-size="12">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	xMin, xMax, yMin, yMax := c.bounds()
+
+	xScale := func(x float64) float64 {
+		if xMax == xMin {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (x-xMin)/(xMax-xMin)*plotW
+	}
+	yScale := func(y float64) float64 {
+		if yMax == yMin {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (y-yMin)/(yMax-yMin)*plotH
+	}
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<text x="%.0f" y="18" text-anchor="middle" font-weight="bold">%s</text>`+"\n", w/2, escape(c.Title))
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+
+	for _, tick := range NiceTicks(yMin, yMax, 6) {
+		y := yScale(tick)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-6, y, formatTick(tick))
+	}
+	if c.Kind == Bars || len(c.XTickLabels) > 0 {
+		for i, label := range c.XTickLabels {
+			x := xScale(float64(i))
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+				x, marginTop+plotH+16, escape(label))
+		}
+	} else {
+		for _, tick := range NiceTicks(xMin, xMax, 7) {
+			x := xScale(tick)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+				x, marginTop+plotH+16, formatTick(tick))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, h-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.0f" text-anchor="middle" transform="rotate(-90 14 %.0f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Marks.
+	switch c.Kind {
+	case Bars:
+		c.renderBars(&b, xScale, yScale, yMin, plotW)
+	default:
+		c.renderLines(&b, xScale, yScale)
+	}
+
+	// Legend (top-right, one row per series).
+	lx := marginLeft + plotW - 120
+	ly := marginTop + 6
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly+float64(i)*legendRow, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+14, ly+float64(i)*legendRow+9, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func (c Chart) renderLines(b *strings.Builder, xScale, yScale func(float64) float64) {
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var points []string
+		for j := range s.X {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", xScale(s.X[j]), yScale(s.Y[j])))
+		}
+		if len(points) > 1 {
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(points, " "), color)
+		}
+		for j := range s.X {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xScale(s.X[j]), yScale(s.Y[j]), color)
+		}
+	}
+}
+
+func (c Chart) renderBars(b *strings.Builder, xScale, yScale func(float64) float64, yMin float64, plotW float64) {
+	groups := 0
+	for _, s := range c.Series {
+		if len(s.X) > groups {
+			groups = len(s.X)
+		}
+	}
+	if groups == 0 {
+		return
+	}
+	groupWidth := plotW / float64(groups)
+	barWidth := groupWidth * 0.8 / float64(len(c.Series))
+	base := yScale(math.Max(yMin, 0))
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		for j := range s.Y {
+			x := xScale(float64(j)) - groupWidth*0.4 + float64(i)*barWidth
+			y := yScale(s.Y[j])
+			top, height := y, base-y
+			if height < 0 {
+				top, height = base, -height
+			}
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, top, barWidth, height, color)
+		}
+	}
+}
+
+// bounds computes the data envelope (with bar charts pinned to zero).
+func (c Chart) bounds() (xMin, xMax, yMin, yMax float64) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		xMin, xMax, yMin, yMax = 0, 1, 0, 1
+	}
+	if c.Kind == Bars {
+		yMin = math.Min(yMin, 0)
+		xMin -= 0.5
+		xMax += 0.5
+	}
+	if c.YMin != nil {
+		yMin = *c.YMin
+	}
+	if c.YMax != nil {
+		yMax = *c.YMax
+	}
+	if yMin == yMax {
+		yMax = yMin + 1
+	}
+	// Headroom so lines do not hug the frame.
+	pad := (yMax - yMin) * 0.05
+	if c.YMax == nil {
+		yMax += pad
+	}
+	if c.YMin == nil && c.Kind != Bars {
+		yMin -= pad
+	}
+	return xMin, xMax, yMin, yMax
+}
+
+// NiceTicks returns ~n round tick positions covering [lo, hi].
+func NiceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if hi <= lo {
+		return []float64{lo}
+	}
+	step := niceStep((hi - lo) / float64(n))
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step*1e-9; v += step {
+		// Normalize -0.
+		if math.Abs(v) < step*1e-9 {
+			v = 0
+		}
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// niceStep rounds a raw step to 1, 2 or 5 × 10^k.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag <= 1:
+		return mag
+	case raw/mag <= 2:
+		return 2 * mag
+	case raw/mag <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

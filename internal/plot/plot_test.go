@@ -1,0 +1,147 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lineChart() Chart {
+	return Chart{
+		Title:  "Throughput vs concurrency",
+		XLabel: "concurrency",
+		YLabel: "Mbps",
+		Series: []Series{
+			{Name: "ProMC", X: []float64{1, 2, 4, 8}, Y: []float64{800, 1600, 3200, 6000}},
+			{Name: "MinE", X: []float64{1, 2, 4, 8}, Y: []float64{2400, 2400, 3200, 4400}},
+		},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	svg := lineChart().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsMarksAndLabels(t *testing.T) {
+	svg := lineChart().SVG()
+	for _, want := range []string{"<polyline", "<circle", "ProMC", "MinE", "Throughput vs concurrency", "concurrency", "Mbps"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<circle"); got != 8 {
+		t.Errorf("expected 8 point markers, found %d", got)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := Chart{
+		Title: "Energy split",
+		Kind:  Bars,
+		Series: []Series{
+			{Name: "end-system", X: []float64{0, 1, 2}, Y: []float64{14.5, 2.0, 2.9}},
+			{Name: "network", X: []float64{0, 1, 2}, Y: []float64{10.2, 1.6, 0.4}},
+		},
+		XTickLabels: []string{"XSEDE", "FutureGrid", "DIDCLAB"},
+	}
+	svg := c.SVG()
+	if got := strings.Count(svg, "<rect"); got < 7 { // background + 6 bars
+		t.Errorf("expected ≥7 rects, found %d", got)
+	}
+	for _, want := range []string{"XSEDE", "FutureGrid", "DIDCLAB"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing tick label %q", want)
+		}
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	svg := Chart{Title: "empty"}.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart produced malformed SVG")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := Chart{Title: `a<b & "c"`}
+	svg := c.SVG()
+	if strings.Contains(svg, `a<b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestNiceTicksCoverRange(t *testing.T) {
+	f := func(loRaw, spanRaw uint16) bool {
+		lo := float64(loRaw) - 30000
+		span := float64(spanRaw%10000) + 1
+		hi := lo + span
+		ticks := NiceTicks(lo, hi, 6)
+		if len(ticks) < 2 || len(ticks) > 14 {
+			return false
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return ticks[0] >= lo-1e-9 && ticks[len(ticks)-1] <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNiceTicksDegenerate(t *testing.T) {
+	if got := NiceTicks(5, 5, 4); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+	if got := NiceTicks(10, 5, 4); len(got) != 1 {
+		t.Errorf("inverted range ticks = %v", got)
+	}
+}
+
+func TestNiceStepValues(t *testing.T) {
+	cases := map[float64]float64{
+		0.7:  1,
+		1.5:  2,
+		3:    5,
+		7:    10,
+		12:   20,
+		230:  500,
+		0.03: 0.05,
+	}
+	for raw, want := range cases {
+		if got := niceStep(raw); math.Abs(got-want) > want*1e-9 {
+			t.Errorf("niceStep(%v) = %v, want %v", raw, got, want)
+		}
+	}
+	if niceStep(0) != 1 {
+		t.Error("zero step should default to 1")
+	}
+}
+
+func TestYBoundsPinned(t *testing.T) {
+	zero := 0.0
+	one := 1.0
+	c := lineChart()
+	c.YMin, c.YMax = &zero, &one
+	_, _, yMin, yMax := c.bounds()
+	if yMin != 0 || yMax != 1 {
+		t.Errorf("pinned bounds = [%v,%v]", yMin, yMax)
+	}
+}

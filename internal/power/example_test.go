@@ -1,0 +1,38 @@
+package power_test
+
+import (
+	"fmt"
+
+	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/power"
+)
+
+func ExampleCPUQuad_At() {
+	// Eq. 2: C_cpu,n = 0.011·n² − 0.082·n + 0.344, minimal at the
+	// 4-core sweet spot.
+	fmt.Printf("%.3f %.3f %.3f\n",
+		power.PaperCPUQuad.At(1), power.PaperCPUQuad.At(4), power.PaperCPUQuad.At(8))
+	fmt.Println("minimum at n =", power.PaperCPUQuad.MinAt(12))
+	// Output:
+	// 0.273 0.192 0.392
+	// minimum at n = 4
+}
+
+func ExampleFineGrained_Power() {
+	// Eq. 1 with illustrative coefficients: a transfer at 50% CPU,
+	// 20% memory, 10% disk and 40% NIC utilization on 2 processes.
+	model := power.FineGrained{Coeff: power.Coefficients{
+		CPU: power.PaperCPUQuad, Mem: 0.1, Disk: 0.05, NIC: 0.2,
+	}}
+	u := endsys.Utilization{CPU: 50, Mem: 20, Disk: 10, NIC: 40}
+	fmt.Println(model.Power(u, 2))
+	// Output: 21.70W
+}
+
+func ExampleCPUOnly_Power() {
+	// Eq. 3: extending a model built on a 95 W-TDP machine to a
+	// 125 W-TDP machine scales the prediction by the TDP ratio.
+	model := power.CPUOnly{CPU: power.PaperCPUQuad, TDPLocal: 95, TDPRemote: 125}
+	fmt.Println(model.Power(60, 1))
+	// Output: 21.55W
+}

@@ -1,0 +1,144 @@
+// Package power implements the paper's end-system power models (§2.2):
+//
+//   - the fine-grained model, Eq. 1–2:
+//     P_t = C_cpu,n·u_cpu + C_mem·u_mem + C_disk·u_disk + C_nic·u_nic
+//     C_cpu,n = 0.011·n² − 0.082·n + 0.344
+//   - the CPU-only model with TDP-ratio scaling across machines, Eq. 3:
+//     P_t = (C_cpu,n·u_cpu) · TDP_remote / TDP_local
+//
+// plus the one-time model-building phase: ordinary least squares over
+// (utilization, power) samples, exactly the "linear regression is
+// applied to derive the coefficients for each component metric" step.
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/units"
+)
+
+// CPUQuad holds the quadratic coefficients (a, b, c) of
+// C_cpu,n = a·n² + b·n + c.
+type CPUQuad [3]float64
+
+// PaperCPUQuad is Eq. 2 verbatim.
+var PaperCPUQuad = CPUQuad{0.011, -0.082, 0.344}
+
+// At evaluates the quadratic at n active transfer processes. n is
+// clamped to at least 1: a transfer always runs in one process.
+func (q CPUQuad) At(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	fn := float64(n)
+	return q[0]*fn*fn + q[1]*fn + q[2]
+}
+
+// MinAt returns the integer process count in [1, max] minimizing the
+// coefficient — the "sweet spot" the paper observes at four processes
+// on four-core servers.
+func (q CPUQuad) MinAt(max int) int {
+	best, bestV := 1, q.At(1)
+	for n := 2; n <= max; n++ {
+		if v := q.At(n); v < bestV {
+			best, bestV = n, v
+		}
+	}
+	return best
+}
+
+// Coefficients parameterize the fine-grained model: watts per percent
+// utilization for each component, with the CPU coefficient depending on
+// the active process count.
+type Coefficients struct {
+	CPU  CPUQuad
+	Mem  float64
+	Disk float64
+	NIC  float64
+}
+
+// Validate reports a descriptive error for non-physical coefficients.
+func (c Coefficients) Validate() error {
+	if c.Mem < 0 || c.Disk < 0 || c.NIC < 0 {
+		return fmt.Errorf("power: negative component coefficient %+v", c)
+	}
+	if c.CPU.At(1) <= 0 {
+		return fmt.Errorf("power: CPU coefficient non-positive at n=1: %v", c.CPU.At(1))
+	}
+	return nil
+}
+
+// FineGrained is the Eq. 1 model.
+type FineGrained struct {
+	Coeff Coefficients
+}
+
+// Power predicts the transfer-attributable power draw for component
+// utilizations u with n active transfer processes.
+func (m FineGrained) Power(u endsys.Utilization, n int) units.Watts {
+	u = u.Clamp()
+	return units.Watts(
+		m.Coeff.CPU.At(n)*u.CPU +
+			m.Coeff.Mem*u.Mem +
+			m.Coeff.Disk*u.Disk +
+			m.Coeff.NIC*u.NIC)
+}
+
+// CPUOnly is the Eq. 3 model: CPU-utilization-only prediction scaled
+// from the machine the model was built on (local) to the machine being
+// predicted (remote) by the ratio of their CPU TDP values. In addition
+// to the Eq. 2 process-count-dependent CPU term, the model carries a
+// process-count-independent Linear term per CPU percent: during
+// transfers the memory, disk and NIC load co-vary with CPU load (the
+// paper's 89.71% correlation), and that absorbed power does not follow
+// Eq. 2's per-process shape.
+type CPUOnly struct {
+	CPU       CPUQuad
+	Linear    float64
+	TDPLocal  units.Watts
+	TDPRemote units.Watts
+}
+
+// Power predicts power from CPU utilization alone.
+func (m CPUOnly) Power(uCPU float64, n int) units.Watts {
+	uCPU = units.ClampF(uCPU, 0, 100)
+	scale := 1.0
+	if m.TDPLocal > 0 && m.TDPRemote > 0 {
+		scale = float64(m.TDPRemote) / float64(m.TDPLocal)
+	}
+	return units.Watts((m.CPU.At(n) + m.Linear) * uCPU * scale)
+}
+
+// Meter integrates power over time into energy, tracking the average
+// and peak. The zero value is ready to use.
+type Meter struct {
+	total   units.Joules
+	elapsed time.Duration
+	peak    units.Watts
+}
+
+// Add accrues power p held for duration d.
+func (m *Meter) Add(p units.Watts, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.total += units.Energy(p, d)
+	m.elapsed += d
+	if p > m.peak {
+		m.peak = p
+	}
+}
+
+// Total returns the accumulated energy.
+func (m *Meter) Total() units.Joules { return m.total }
+
+// Elapsed returns the metered wall time.
+func (m *Meter) Elapsed() time.Duration { return m.elapsed }
+
+// Peak returns the highest power sample seen.
+func (m *Meter) Peak() units.Watts { return m.peak }
+
+// Average returns total energy over elapsed time.
+func (m *Meter) Average() units.Watts { return units.Power(m.total, m.elapsed) }

@@ -1,0 +1,150 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/units"
+)
+
+func TestPaperCPUQuadValues(t *testing.T) {
+	// Spot-check Eq. 2 against hand computation.
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 0.273},
+		{2, 0.224},
+		{4, 0.192},
+		{8, 0.392},
+	}
+	for _, c := range cases {
+		if got := PaperCPUQuad.At(c.n); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("C_cpu,%d = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPaperCPUQuadMinimumAtFour(t *testing.T) {
+	// The paper observes the energy-per-core sweet spot at four
+	// processes on the four-core XSEDE servers; Eq. 2's integer
+	// minimum is indeed n = 4.
+	if got := PaperCPUQuad.MinAt(12); got != 4 {
+		t.Errorf("Eq. 2 minimum at n=%d, want 4", got)
+	}
+}
+
+func TestCPUQuadClampsBelowOne(t *testing.T) {
+	if PaperCPUQuad.At(0) != PaperCPUQuad.At(1) || PaperCPUQuad.At(-3) != PaperCPUQuad.At(1) {
+		t.Error("n<1 should clamp to n=1")
+	}
+}
+
+func TestFineGrainedPower(t *testing.T) {
+	m := FineGrained{Coeff: Coefficients{CPU: PaperCPUQuad, Mem: 0.1, Disk: 0.05, NIC: 0.2}}
+	u := endsys.Utilization{CPU: 50, Mem: 20, Disk: 10, NIC: 40}
+	want := 0.273*50 + 0.1*20 + 0.05*10 + 0.2*40
+	if got := m.Power(u, 1); math.Abs(float64(got)-want) > 1e-9 {
+		t.Errorf("Power = %v, want %v", got, want)
+	}
+}
+
+func TestFineGrainedPowerClampsUtilization(t *testing.T) {
+	m := FineGrained{Coeff: Coefficients{CPU: PaperCPUQuad, NIC: 0.2}}
+	over := m.Power(endsys.Utilization{CPU: 250, NIC: 300}, 1)
+	capped := m.Power(endsys.Utilization{CPU: 100, NIC: 100}, 1)
+	if over != capped {
+		t.Errorf("unclamped power %v != capped %v", over, capped)
+	}
+}
+
+func TestFineGrainedMonotoneInUtilization(t *testing.T) {
+	m := FineGrained{Coeff: Coefficients{CPU: PaperCPUQuad, Mem: 0.1, Disk: 0.05, NIC: 0.2}}
+	f := func(a, b uint8) bool {
+		lo := float64(a % 101)
+		hi := lo + float64(b%50)
+		if hi > 100 {
+			hi = 100
+		}
+		pl := m.Power(endsys.Utilization{CPU: lo, Mem: lo, Disk: lo, NIC: lo}, 2)
+		ph := m.Power(endsys.Utilization{CPU: hi, Mem: hi, Disk: hi, NIC: hi}, 2)
+		return ph >= pl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUOnlyTDPScaling(t *testing.T) {
+	// Eq. 3: extending an Intel-built model (TDP 95 W) to an AMD server
+	// (TDP 125 W) scales prediction by 125/95.
+	local := CPUOnly{CPU: PaperCPUQuad, TDPLocal: 95, TDPRemote: 95}
+	remote := CPUOnly{CPU: PaperCPUQuad, TDPLocal: 95, TDPRemote: 125}
+	pl := local.Power(60, 2)
+	pr := remote.Power(60, 2)
+	if math.Abs(float64(pr)/float64(pl)-125.0/95.0) > 1e-9 {
+		t.Errorf("TDP scaling wrong: local %v remote %v", pl, pr)
+	}
+}
+
+func TestCPUOnlyNoTDPsMeansNoScaling(t *testing.T) {
+	m := CPUOnly{CPU: PaperCPUQuad}
+	if got := m.Power(50, 1); math.Abs(float64(got)-0.273*50) > 1e-9 {
+		t.Errorf("unscaled power = %v", got)
+	}
+}
+
+func TestCoefficientsValidate(t *testing.T) {
+	good := Coefficients{CPU: PaperCPUQuad, Mem: 0.1, Disk: 0.1, NIC: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid coefficients rejected: %v", err)
+	}
+	if err := (Coefficients{CPU: PaperCPUQuad, Mem: -1}).Validate(); err == nil {
+		t.Error("negative Mem accepted")
+	}
+	if err := (Coefficients{CPU: CPUQuad{0, 0, -1}}).Validate(); err == nil {
+		t.Error("non-positive CPU coefficient accepted")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Add(100, 2*time.Second)
+	m.Add(50, 2*time.Second)
+	m.Add(0, -time.Second) // ignored
+	if got := m.Total(); got != 300 {
+		t.Errorf("Total = %v, want 300 J", got)
+	}
+	if got := m.Elapsed(); got != 4*time.Second {
+		t.Errorf("Elapsed = %v", got)
+	}
+	if got := m.Average(); got != 75 {
+		t.Errorf("Average = %v, want 75 W", got)
+	}
+	if got := m.Peak(); got != 100 {
+		t.Errorf("Peak = %v, want 100 W", got)
+	}
+}
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.Total() != 0 || m.Average() != 0 || m.Peak() != 0 || m.Elapsed() != 0 {
+		t.Error("zero meter should read zero everywhere")
+	}
+}
+
+func TestMeterIntegrationMatchesClosedForm(t *testing.T) {
+	// Integrating a constant 80 W in 1 ms steps for 10 s must equal
+	// 800 J to floating-point accuracy.
+	var m Meter
+	for i := 0; i < 10000; i++ {
+		m.Add(80, time.Millisecond)
+	}
+	if math.Abs(float64(m.Total())-800) > 1e-6 {
+		t.Errorf("Total = %v, want 800 J", m.Total())
+	}
+	_ = units.Joules(0)
+}

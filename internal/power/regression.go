@@ -1,0 +1,189 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/units"
+)
+
+// ErrSingular is returned when a regression system has no unique
+// solution (collinear or insufficient samples).
+var ErrSingular = errors.New("power: singular regression system")
+
+// FitLinear solves the ordinary least squares problem min‖Xβ−y‖₂ via
+// the normal equations XᵀXβ = Xᵀy with Gaussian elimination and partial
+// pivoting. Rows of x are observations; columns are features.
+func FitLinear(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("power: %d observations vs %d targets", len(x), len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("power: no features")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("power: row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	// Build XᵀX (p×p) and Xᵀy (p).
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1) // augmented with Xᵀy
+	}
+	for _, row := range x {
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for k, row := range x {
+		for i := 0; i < p; i++ {
+			xtx[i][p] += row[i] * y[k]
+		}
+	}
+	// Gaussian elimination with partial pivoting on the augmented matrix.
+	for col := 0; col < p; col++ {
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(xtx[r][col]) > math.Abs(xtx[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(xtx[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		xtx[col], xtx[pivot] = xtx[pivot], xtx[col]
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			factor := xtx[r][col] / xtx[col][col]
+			for c := col; c <= p; c++ {
+				xtx[r][c] -= factor * xtx[col][c]
+			}
+		}
+	}
+	beta := make([]float64, p)
+	for i := 0; i < p; i++ {
+		beta[i] = xtx[i][p] / xtx[i][i]
+	}
+	return beta, nil
+}
+
+// Sample is one observation of the model-building phase: component
+// utilizations, the active process count, and the measured power.
+type Sample struct {
+	U         endsys.Utilization
+	Processes int
+	Power     float64
+}
+
+// BuildFineGrained fits the fine-grained model's four component
+// coefficients from measured samples, holding the CPU process-count
+// quadratic shape fixed at Eq. 2's published form but scaling it to the
+// measured machine. The feature vector is
+// [C_cpu,n(paper)·u_cpu / C_cpu,1(paper), u_mem, u_disk, u_nic], so the
+// fitted first coefficient is the machine's C_cpu,1 and the quadratic
+// is rescaled by C_cpu,1(machine)/C_cpu,1(paper).
+func BuildFineGrained(samples []Sample) (Coefficients, error) {
+	if len(samples) < 4 {
+		return Coefficients{}, fmt.Errorf("power: %d samples, need at least 4", len(samples))
+	}
+	ref := PaperCPUQuad.At(1)
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		x[i] = []float64{
+			PaperCPUQuad.At(s.Processes) / ref * s.U.CPU,
+			s.U.Mem,
+			s.U.Disk,
+			s.U.NIC,
+		}
+		y[i] = s.Power
+	}
+	beta, err := FitLinear(x, y)
+	if err != nil {
+		return Coefficients{}, err
+	}
+	scale := beta[0] / ref
+	return Coefficients{
+		CPU:  CPUQuad{PaperCPUQuad[0] * scale, PaperCPUQuad[1] * scale, PaperCPUQuad[2] * scale},
+		Mem:  beta[1],
+		Disk: beta[2],
+		NIC:  beta[3],
+	}, nil
+}
+
+// BuildCPUOnly fits the CPU-only model from transfer-shaped samples:
+// one coefficient over the Eq. 2-shaped CPU feature plus one
+// process-independent coefficient that captures co-varying non-CPU
+// power. Samples must span at least two distinct process counts or the
+// two features are collinear.
+func BuildCPUOnly(samples []Sample, tdpLocal float64) (CPUOnly, error) {
+	if len(samples) < 2 {
+		return CPUOnly{}, errors.New("power: need at least 2 samples")
+	}
+	ref := PaperCPUQuad.At(1)
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		x[i] = []float64{PaperCPUQuad.At(s.Processes) / ref * s.U.CPU, s.U.CPU}
+		y[i] = s.Power
+	}
+	beta, err := FitLinear(x, y)
+	if err != nil {
+		return CPUOnly{}, err
+	}
+	scale := beta[0] / ref
+	return CPUOnly{
+		CPU:      CPUQuad{PaperCPUQuad[0] * scale, PaperCPUQuad[1] * scale, PaperCPUQuad[2] * scale},
+		Linear:   beta[1],
+		TDPLocal: units.Watts(tdpLocal),
+	}, nil
+}
+
+// FitQuadratic fits a·n² + b·n + c to (n, value) points by least
+// squares — the regression behind Eq. 2 itself.
+func FitQuadratic(ns []int, values []float64) (CPUQuad, error) {
+	if len(ns) != len(values) || len(ns) < 3 {
+		return CPUQuad{}, fmt.Errorf("power: need ≥3 matched points, got %d/%d", len(ns), len(values))
+	}
+	x := make([][]float64, len(ns))
+	for i, n := range ns {
+		fn := float64(n)
+		x[i] = []float64{fn * fn, fn, 1}
+	}
+	beta, err := FitLinear(x, values)
+	if err != nil {
+		return CPUQuad{}, err
+	}
+	return CPUQuad{beta[0], beta[1], beta[2]}, nil
+}
+
+// MeanAbsPctError returns the mean |predicted−actual|/actual across
+// samples, the error metric the paper reports for model validation
+// (fine-grained below 6%, CPU-only below 5–8%). Samples with
+// non-positive actual power are skipped.
+func MeanAbsPctError(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) {
+		return 0, fmt.Errorf("power: %d predictions vs %d actuals", len(predicted), len(actual))
+	}
+	var sum float64
+	var n int
+	for i := range predicted {
+		if actual[i] <= 0 {
+			continue
+		}
+		sum += math.Abs(predicted[i]-actual[i]) / actual[i]
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("power: no usable samples")
+	}
+	return sum / float64(n) * 100, nil
+}

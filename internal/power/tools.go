@@ -1,0 +1,204 @@
+package power
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/didclab/eta/internal/endsys"
+)
+
+// Tool identifies an application-layer transfer tool whose utilization
+// signature the paper's §2.2 validation replays (scp, rsync, ftp, bbcp,
+// gridftp).
+type Tool string
+
+// The transfer tools the paper validates its power models against.
+const (
+	ToolSCP     Tool = "scp"
+	ToolRsync   Tool = "rsync"
+	ToolFTP     Tool = "ftp"
+	ToolBBCP    Tool = "bbcp"
+	ToolGridFTP Tool = "gridftp"
+)
+
+// Tools lists all validation tools in the paper's order.
+var Tools = []Tool{ToolSCP, ToolRsync, ToolFTP, ToolBBCP, ToolGridFTP}
+
+// toolProfile is the characteristic operating region of a tool:
+// encryption-heavy scp burns CPU at low throughput, bbcp/gridftp move
+// line-rate data with many streams, rsync adds checksum CPU and disk
+// churn, plain ftp is a single lazy stream.
+type toolProfile struct {
+	cpu       [2]float64 // mean utilization %, jitter amplitude
+	mem       [2]float64
+	disk      [2]float64
+	nic       [2]float64
+	processes int
+}
+
+// The profiles keep memory/disk/NIC activity strongly correlated with
+// CPU activity — the paper measures an 89.71% correlation between CPU
+// utilization and consumed power during transfers, which is the entire
+// reason the CPU-only model works. Encryption-heavy scp and
+// checksum-heavy rsync deviate most from the common ratio (their CPU
+// cycles buy fewer moved bytes), which is why the paper's CPU-only
+// error is worst (still <8%) on exactly those two tools.
+var toolProfiles = map[Tool]toolProfile{
+	ToolSCP:     {cpu: [2]float64{72, 8}, mem: [2]float64{24, 3}, disk: [2]float64{36, 4}, nic: [2]float64{25, 3}, processes: 1},
+	ToolRsync:   {cpu: [2]float64{58, 8}, mem: [2]float64{19, 3}, disk: [2]float64{34, 4}, nic: [2]float64{20, 3}, processes: 1},
+	ToolFTP:     {cpu: [2]float64{36, 5}, mem: [2]float64{12, 2}, disk: [2]float64{18, 3}, nic: [2]float64{18, 3}, processes: 1},
+	ToolBBCP:    {cpu: [2]float64{40, 6}, mem: [2]float64{13, 3}, disk: [2]float64{21, 4}, nic: [2]float64{21, 4}, processes: 4},
+	ToolGridFTP: {cpu: [2]float64{44, 6}, mem: [2]float64{15, 3}, disk: [2]float64{23, 4}, nic: [2]float64{23, 4}, processes: 4},
+}
+
+// GroundTruth is the hidden "real server" whose power the validation
+// experiment measures: a fine-grained linear core plus a mild CPU
+// nonlinearity and measurement noise. The models under test never see
+// its parameters — only its (utilization, power) samples.
+type GroundTruth struct {
+	Coeff     Coefficients
+	NonlinCPU float64 // fraction of CPU power bent quadratically
+	Noise     float64 // multiplicative measurement noise amplitude
+}
+
+// DefaultGroundTruth returns a ground truth in the paper's coefficient
+// regime.
+func DefaultGroundTruth() GroundTruth {
+	return GroundTruth{
+		Coeff:     Coefficients{CPU: PaperCPUQuad, Mem: 0.11, Disk: 0.08, NIC: 0.2},
+		NonlinCPU: 0.1,
+		Noise:     0.015,
+	}
+}
+
+// Measure returns the "true" measured power for a utilization point.
+func (g GroundTruth) Measure(u endsys.Utilization, processes int, rng *rand.Rand) float64 {
+	u = u.Clamp()
+	linear := float64(FineGrained{Coeff: g.Coeff}.Power(u, processes))
+	bend := g.NonlinCPU * g.Coeff.CPU.At(processes) * u.CPU * (u.CPU / 100)
+	p := linear + bend
+	if rng != nil && g.Noise > 0 {
+		p *= 1 + g.Noise*(2*rng.Float64()-1)
+	}
+	return p
+}
+
+// ToolTrace synthesizes n utilization/power observations of a tool
+// running against the ground truth.
+func ToolTrace(tool Tool, g GroundTruth, n int, seed int64) ([]Sample, error) {
+	prof, ok := toolProfiles[tool]
+	if !ok {
+		return nil, fmt.Errorf("power: unknown tool %q", tool)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("power: trace length %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func(p [2]float64) float64 {
+		return p[0] + p[1]*(2*rng.Float64()-1)
+	}
+	samples := make([]Sample, n)
+	for i := range samples {
+		u := endsys.Utilization{
+			CPU:  jitter(prof.cpu),
+			Mem:  jitter(prof.mem),
+			Disk: jitter(prof.disk),
+			NIC:  jitter(prof.nic),
+		}.Clamp()
+		samples[i] = Sample{
+			U:         u,
+			Processes: prof.processes,
+			Power:     g.Measure(u, prof.processes, rng),
+		}
+	}
+	return samples, nil
+}
+
+// CalibrationSweep produces the model-building dataset for the
+// fine-grained model: for each component a load ramp is applied while
+// others idle, then mixed points, mirroring "for each system component
+// we measure the power consumption values for varying load levels".
+func CalibrationSweep(g GroundTruth, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]Sample, 0, 80)
+	add := func(u endsys.Utilization, procs int) {
+		samples = append(samples, Sample{U: u, Processes: procs, Power: g.Measure(u, procs, rng)})
+	}
+	for load := 5.0; load <= 95; load += 10 {
+		add(endsys.Utilization{CPU: load}, 1)
+		add(endsys.Utilization{Mem: load}, 1)
+		add(endsys.Utilization{Disk: load}, 1)
+		add(endsys.Utilization{NIC: load}, 1)
+	}
+	samples = append(samples, TransferCalibration(g, seed+1)...)
+	return samples
+}
+
+// TransferCalibration produces transfer-shaped calibration points where
+// memory, disk and NIC load move together with CPU load — the regime
+// the CPU-only model is built in. A model fit on orthogonal component
+// ramps could never attribute NIC watts to CPU percent; one fit on real
+// transfers can, because the components co-vary (§2.2's 89.71%
+// CPU-power correlation).
+func TransferCalibration(g GroundTruth, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var samples []Sample
+	for procs := 1; procs <= 8; procs++ {
+		for load := 10.0; load <= 90; load += 20 {
+			u := endsys.Utilization{CPU: load, Mem: load / 3, Disk: load / 2, NIC: load / 2}
+			samples = append(samples, Sample{U: u, Processes: procs, Power: g.Measure(u, procs, rng)})
+		}
+	}
+	return samples
+}
+
+// ValidationResult is one row of the §2.2 validation table.
+type ValidationResult struct {
+	Tool             Tool
+	FineGrainedError float64 // mean absolute % error
+	CPUOnlyError     float64
+}
+
+// Validate builds both models from a calibration sweep and scores them
+// on fresh per-tool traces, reproducing the paper's validation: the
+// fine-grained model should stay below ~6% error and the CPU-only model
+// below ~8%.
+func Validate(g GroundTruth, samplesPerTool int, seed int64) ([]ValidationResult, error) {
+	calib := CalibrationSweep(g, seed)
+	fg, err := BuildFineGrained(calib)
+	if err != nil {
+		return nil, fmt.Errorf("building fine-grained model: %w", err)
+	}
+	co, err := BuildCPUOnly(TransferCalibration(g, seed+1), 95)
+	if err != nil {
+		return nil, fmt.Errorf("building CPU-only model: %w", err)
+	}
+	fgModel := FineGrained{Coeff: fg}
+	results := make([]ValidationResult, 0, len(Tools))
+	for i, tool := range Tools {
+		trace, err := ToolTrace(tool, g, samplesPerTool, seed+int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		actual := make([]float64, len(trace))
+		predFG := make([]float64, len(trace))
+		predCO := make([]float64, len(trace))
+		for j, s := range trace {
+			actual[j] = s.Power
+			predFG[j] = float64(fgModel.Power(s.U, s.Processes))
+			predCO[j] = float64(co.Power(s.U.CPU, s.Processes))
+		}
+		fgErr, err := MeanAbsPctError(predFG, actual)
+		if err != nil {
+			return nil, err
+		}
+		coErr, err := MeanAbsPctError(predCO, actual)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, ValidationResult{Tool: tool, FineGrainedError: fgErr, CPUOnlyError: coErr})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Tool < results[j].Tool })
+	return results, nil
+}

@@ -1,0 +1,478 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/units"
+)
+
+// Counters aggregates live transfer statistics across channels; the
+// adaptive algorithms sample it to compute window throughput.
+type Counters struct {
+	bytes atomic.Int64
+	files atomic.Int64
+}
+
+// AddBytes books received payload bytes.
+func (c *Counters) AddBytes(n int64) { c.bytes.Add(n) }
+
+// Bytes returns total payload bytes received so far.
+func (c *Counters) Bytes() units.Bytes { return units.Bytes(c.bytes.Load()) }
+
+// Files returns the number of completed files.
+func (c *Counters) Files() int64 { return c.files.Load() }
+
+// Client opens transfer channels to one server.
+type Client struct {
+	Addr string
+	// DialTimeout bounds each TCP dial; 10 s when zero.
+	DialTimeout time.Duration
+	// Counters receives live statistics; optional.
+	Counters *Counters
+	// VerifyChecksums makes every fetched file's content CRC-32C be
+	// recomputed from the received blocks (combined across the striped
+	// streams) and compared with the server's DONE checksum. This is
+	// the integrity feature Globus Online ships with — the paper
+	// disables it there "to do fair comparison" because it costs
+	// throughput.
+	VerifyChecksums bool
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	timeout := c.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return net.DialTimeout("tcp", c.Addr, timeout)
+}
+
+// List fetches the server's file manifest over a throwaway control
+// connection.
+func (c *Client) List() ([]dataset.File, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if _, err := io.WriteString(conn, "HELLO\n"); err != nil {
+		return nil, err
+	}
+	if verb, _, err := readLine(br); err != nil || verb != respOK {
+		return nil, fmt.Errorf("proto: handshake failed (verb %q, err %v)", verb, err)
+	}
+	if _, err := io.WriteString(conn, cmdList+"\n"); err != nil {
+		return nil, err
+	}
+	var files []dataset.File
+	for {
+		verb, fields, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		switch verb {
+		case respFile:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("proto: malformed FILE line %v", fields)
+			}
+			size, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil || size < 0 {
+				return nil, fmt.Errorf("proto: bad file size %q", fields[0])
+			}
+			files = append(files, dataset.File{Name: unescapeName(fields[1]), Size: units.Bytes(size)})
+		case respEnd:
+			_, _ = io.WriteString(conn, cmdQuit+"\n")
+			return files, nil
+		case respErr:
+			return nil, fmt.Errorf("proto: server error: %v", fields)
+		default:
+			return nil, fmt.Errorf("proto: unexpected %q during LIST", verb)
+		}
+	}
+}
+
+// Channel is one concurrency unit: a control connection plus
+// `parallelism` striped data streams. A channel fetches one file at a
+// time but keeps up to `pipelining` GETs outstanding on the control
+// channel.
+type Channel struct {
+	client *Client
+	ctrl   net.Conn
+	br     *bufio.Reader
+	sid    uint64
+
+	streams []net.Conn
+
+	mu      sync.Mutex
+	pending map[uint32]*pendingGet
+	nextID  uint32
+	readErr error
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+type pendingGet struct {
+	name     string
+	offset   int64
+	length   int64
+	sink     Sink
+	received atomic.Int64
+	ctrlDone chan struct{} // DONE/ERR line arrived
+	dataDone chan struct{} // all payload bytes arrived
+	crc      uint32
+	err      error
+	once     sync.Once
+	dataOnce sync.Once
+
+	blockMu sync.Mutex
+	blocks  []blockCRC
+}
+
+// recordBlock remembers a received block's CRC for later combination.
+func (p *pendingGet) recordBlock(off int64, payload []byte) {
+	c := crc32.Checksum(payload, crcTable)
+	p.blockMu.Lock()
+	p.blocks = append(p.blocks, blockCRC{off: off, n: int64(len(payload)), crc: c})
+	p.blockMu.Unlock()
+}
+
+// verifyChecksum combines the block CRCs and compares them with the
+// server's whole-file checksum.
+func (p *pendingGet) verifyChecksum() error {
+	p.blockMu.Lock()
+	defer p.blockMu.Unlock()
+	normalized := make([]blockCRC, len(p.blocks))
+	for i, b := range p.blocks {
+		normalized[i] = blockCRC{off: b.off - p.offset, n: b.n, crc: b.crc}
+	}
+	got, ok := combineBlocks(normalized, p.length)
+	if !ok {
+		return fmt.Errorf("proto: %s: received blocks do not tile the requested range", p.name)
+	}
+	if got != p.crc {
+		return fmt.Errorf("proto: %s: checksum mismatch (got %08x, server sent %08x)", p.name, got, p.crc)
+	}
+	return nil
+}
+
+func (p *pendingGet) finishCtrl(crc uint32, err error) {
+	p.once.Do(func() {
+		p.crc = crc
+		p.err = err
+		close(p.ctrlDone)
+	})
+}
+
+func (p *pendingGet) addBytes(n int64) {
+	if p.received.Add(n) >= p.length {
+		p.dataOnce.Do(func() { close(p.dataDone) })
+	}
+}
+
+// OpenChannel dials a control connection and `parallelism` data
+// streams.
+func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
+	if parallelism < 1 {
+		return nil, fmt.Errorf("proto: parallelism %d < 1", parallelism)
+	}
+	ctrl, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		client:  c,
+		ctrl:    ctrl,
+		br:      bufio.NewReader(ctrl),
+		pending: make(map[uint32]*pendingGet),
+	}
+	if _, err := io.WriteString(ctrl, "HELLO\n"); err != nil {
+		ctrl.Close()
+		return nil, err
+	}
+	verb, fields, err := readLine(ch.br)
+	if err != nil || verb != respOK || len(fields) != 1 {
+		ctrl.Close()
+		return nil, fmt.Errorf("proto: handshake failed (verb %q, err %v)", verb, err)
+	}
+	sid, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		ctrl.Close()
+		return nil, fmt.Errorf("proto: bad session id %q", fields[0])
+	}
+	ch.sid = sid
+
+	for i := 0; i < parallelism; i++ {
+		data, err := c.dial()
+		if err != nil {
+			ch.Close()
+			return nil, err
+		}
+		if _, err := fmt.Fprintf(data, "%s %d %d\n", cmdData, sid, i); err != nil {
+			data.Close()
+			ch.Close()
+			return nil, err
+		}
+		ch.streams = append(ch.streams, data)
+	}
+	if _, err := fmt.Fprintf(ctrl, "%s %d\n", cmdOpen, parallelism); err != nil {
+		ch.Close()
+		return nil, err
+	}
+	if verb, fields, err := readLine(ch.br); err != nil || verb != respOK {
+		ch.Close()
+		return nil, fmt.Errorf("proto: OPEN failed (verb %q fields %v err %v)", verb, fields, err)
+	}
+
+	// Control reader (DONE/ERR) and per-stream block readers.
+	ch.wg.Add(1)
+	go ch.controlLoop()
+	for _, s := range ch.streams {
+		ch.wg.Add(1)
+		go ch.streamLoop(s)
+	}
+	return ch, nil
+}
+
+// Parallelism returns the channel's data stream count.
+func (ch *Channel) Parallelism() int { return len(ch.streams) }
+
+func (ch *Channel) controlLoop() {
+	defer ch.wg.Done()
+	for {
+		verb, fields, err := readLine(ch.br)
+		if err != nil {
+			ch.failAll(err)
+			return
+		}
+		switch verb {
+		case respDone:
+			if len(fields) != 2 {
+				continue
+			}
+			id64, err1 := strconv.ParseUint(fields[0], 10, 32)
+			crc64, err2 := strconv.ParseUint(fields[1], 10, 32)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if p := ch.lookup(uint32(id64)); p != nil {
+				p.finishCtrl(uint32(crc64), nil)
+			}
+		case respErr:
+			if len(fields) >= 1 {
+				if id64, err := strconv.ParseUint(fields[0], 10, 32); err == nil {
+					if p := ch.lookup(uint32(id64)); p != nil {
+						p.finishCtrl(0, fmt.Errorf("proto: server error: %v", fields[1:]))
+						p.dataOnce.Do(func() { close(p.dataDone) })
+					}
+				}
+			}
+		}
+	}
+}
+
+func (ch *Channel) streamLoop(conn net.Conn) {
+	defer ch.wg.Done()
+	br := bufio.NewReaderSize(conn, 256*1024)
+	buf := make([]byte, DefaultBlockSize)
+	for {
+		h, err := readBlockHeader(br)
+		if err != nil {
+			ch.failAll(err)
+			return
+		}
+		if int(h.Length) > len(buf) {
+			buf = make([]byte, h.Length)
+		}
+		payload := buf[:h.Length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			ch.failAll(err)
+			return
+		}
+		p := ch.lookup(h.ReqID)
+		if p == nil {
+			continue // request was abandoned
+		}
+		if _, err := p.sink.WriteAt(p.name, payload, int64(h.Offset)); err != nil {
+			p.finishCtrl(0, err)
+			p.dataOnce.Do(func() { close(p.dataDone) })
+			continue
+		}
+		if ch.client.VerifyChecksums {
+			p.recordBlock(int64(h.Offset), payload)
+		}
+		if ch.client.Counters != nil {
+			ch.client.Counters.AddBytes(int64(h.Length))
+		}
+		p.addBytes(int64(h.Length))
+	}
+}
+
+func (ch *Channel) lookup(id uint32) *pendingGet {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.pending[id]
+}
+
+func (ch *Channel) failAll(err error) {
+	if ch.closed.Load() {
+		return
+	}
+	ch.mu.Lock()
+	if ch.readErr == nil {
+		ch.readErr = err
+	}
+	pend := make([]*pendingGet, 0, len(ch.pending))
+	for _, p := range ch.pending {
+		pend = append(pend, p)
+	}
+	ch.mu.Unlock()
+	for _, p := range pend {
+		p.finishCtrl(0, err)
+		p.dataOnce.Do(func() { close(p.dataDone) })
+	}
+}
+
+// get issues one pipelined ranged GET and returns its pending handle.
+func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
+	ch.mu.Lock()
+	if ch.readErr != nil {
+		err := ch.readErr
+		ch.mu.Unlock()
+		return nil, err
+	}
+	ch.nextID++
+	id := ch.nextID
+	p := &pendingGet{
+		name:     r.File.Name,
+		offset:   int64(r.Offset),
+		length:   int64(r.Remaining()),
+		sink:     sink,
+		ctrlDone: make(chan struct{}),
+		dataDone: make(chan struct{}),
+	}
+	if p.length == 0 {
+		p.dataOnce.Do(func() { close(p.dataDone) })
+	}
+	ch.pending[id] = p
+	ch.mu.Unlock()
+
+	line := formatGet(getRequest{ID: id, Name: r.File.Name, Offset: p.offset, Length: p.length})
+	if _, err := io.WriteString(ch.ctrl, line); err != nil {
+		ch.mu.Lock()
+		delete(ch.pending, id)
+		ch.mu.Unlock()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (ch *Channel) release(p *pendingGet) {
+	ch.mu.Lock()
+	for id, q := range ch.pending {
+		if q == p {
+			delete(ch.pending, id)
+			break
+		}
+	}
+	ch.mu.Unlock()
+}
+
+// finish waits for a request's payload and acknowledgement, releases
+// it, and runs the optional integrity check.
+func (ch *Channel) finish(p *pendingGet) error {
+	<-p.dataDone
+	<-p.ctrlDone
+	ch.release(p)
+	if p.err != nil {
+		return p.err
+	}
+	if ch.client.VerifyChecksums && p.length > 0 {
+		if err := p.verifyChecksum(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FetchResult summarizes one Fetch call.
+type FetchResult struct {
+	Files int
+	Bytes units.Bytes
+}
+
+// Fetch transfers the files in order, keeping up to `pipelining` GETs
+// outstanding, writing payloads into sink. It returns after every file
+// has fully arrived and been acknowledged.
+func (ch *Channel) Fetch(files []dataset.File, pipelining int, sink Sink) (FetchResult, error) {
+	return ch.FetchRanges(WholeFiles(files), pipelining, sink)
+}
+
+// FetchRanges is Fetch for resumable byte ranges: each entry transfers
+// [Offset, File.Size) of its file.
+func (ch *Channel) FetchRanges(ranges []FileRange, pipelining int, sink Sink) (FetchResult, error) {
+	if pipelining < 1 {
+		pipelining = 1
+	}
+	var result FetchResult
+	window := make([]*pendingGet, 0, pipelining)
+	next := 0
+	for next < len(ranges) || len(window) > 0 {
+		for len(window) < pipelining && next < len(ranges) {
+			p, err := ch.get(ranges[next], sink)
+			if err != nil {
+				return result, err
+			}
+			window = append(window, p)
+			next++
+		}
+		// Wait for the oldest request (FIFO service on the server).
+		p := window[0]
+		window = window[1:]
+		if err := ch.finish(p); err != nil {
+			return result, err
+		}
+		if err := sink.Close(p.name); err != nil {
+			return result, err
+		}
+		result.Files++
+		result.Bytes += units.Bytes(p.length)
+		if ch.client.Counters != nil {
+			ch.client.Counters.files.Add(1)
+		}
+	}
+	return result, nil
+}
+
+// Close tears the channel down.
+func (ch *Channel) Close() error {
+	if !ch.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	_, _ = io.WriteString(ch.ctrl, cmdQuit+"\n")
+	err := ch.ctrl.Close()
+	for _, s := range ch.streams {
+		s.Close()
+	}
+	ch.mu.Lock()
+	pend := make([]*pendingGet, 0, len(ch.pending))
+	for _, p := range ch.pending {
+		pend = append(pend, p)
+	}
+	ch.mu.Unlock()
+	for _, p := range pend {
+		p.finishCtrl(0, fmt.Errorf("proto: channel closed"))
+		p.dataOnce.Do(func() { close(p.dataDone) })
+	}
+	ch.wg.Wait()
+	return err
+}

@@ -1,0 +1,107 @@
+package proto
+
+// CRC combination for striped transfers. The server computes one
+// CRC-32C over each file as it reads it sequentially; the client
+// receives the file as out-of-order blocks across parallel streams, so
+// it cannot feed a single running hash. Instead it hashes each block
+// independently and merges the results with the standard GF(2)
+// matrix-based crc32_combine construction (as in zlib): appending m
+// bytes to a message multiplies its CRC state by the m-th power of the
+// "advance one zero byte" linear operator.
+
+// crc32Poly is the reflected Castagnoli polynomial, matching
+// crc32.MakeTable(crc32.Castagnoli).
+const crc32Poly = 0x82F63B78
+
+// gf2MatrixTimes multiplies the GF(2) matrix by the vector.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i++ {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		vec >>= 1
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square = mat².
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for i := range mat {
+		square[i] = gf2MatrixTimes(mat, mat[i])
+	}
+}
+
+// CRC32CCombine returns the CRC-32C of the concatenation A‖B given
+// crc(A), crc(B) and len(B). It runs in O(log len2) matrix operations.
+func CRC32CCombine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	var even, odd [32]uint32
+
+	// odd = operator for one zero bit.
+	odd[0] = crc32Poly
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	// even = operator for two zero bits; odd := four, and so on.
+	gf2MatrixSquare(&even, &odd)
+	gf2MatrixSquare(&odd, &even)
+
+	for {
+		gf2MatrixSquare(&even, &odd)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&even, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&odd, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}
+
+// blockCRC is one received block's integrity record.
+type blockCRC struct {
+	off int64
+	n   int64
+	crc uint32
+}
+
+// combineBlocks merges per-block CRCs into the whole-file CRC-32C. The
+// blocks must tile [0, total) exactly once; the slice is sorted in
+// place. It returns ok=false if the tiling has gaps or overlaps.
+func combineBlocks(blocks []blockCRC, total int64) (uint32, bool) {
+	sortBlocks(blocks)
+	var crc uint32
+	var pos int64
+	for _, b := range blocks {
+		if b.off != pos {
+			return 0, false
+		}
+		crc = CRC32CCombine(crc, b.crc, b.n)
+		pos += b.n
+	}
+	return crc, pos == total
+}
+
+// sortBlocks is an insertion sort: block lists arrive nearly sorted
+// (round-robin striping), where insertion sort is O(n).
+func sortBlocks(blocks []blockCRC) {
+	for i := 1; i < len(blocks); i++ {
+		for j := i; j > 0 && blocks[j].off < blocks[j-1].off; j-- {
+			blocks[j], blocks[j-1] = blocks[j-1], blocks[j]
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package proto
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/units"
+)
+
+func TestCRC32CCombineMatchesSequential(t *testing.T) {
+	f := func(seed int64, lenA, lenB uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]byte, int(lenA))
+		b := make([]byte, int(lenB))
+		rng.Read(a)
+		rng.Read(b)
+		whole := crc32.Checksum(append(append([]byte{}, a...), b...), crcTable)
+		combined := CRC32CCombine(crc32.Checksum(a, crcTable), crc32.Checksum(b, crcTable), int64(len(b)))
+		return whole == combined
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC32CCombineZeroLength(t *testing.T) {
+	if got := CRC32CCombine(0xDEADBEEF, 0x12345678, 0); got != 0xDEADBEEF {
+		t.Errorf("zero-length combine = %08x", got)
+	}
+}
+
+func TestCombineBlocksTiling(t *testing.T) {
+	data := make([]byte, 10000)
+	rand.New(rand.NewSource(7)).Read(data)
+	whole := crc32.Checksum(data, crcTable)
+
+	// Split into irregular blocks and shuffle.
+	var blocks []blockCRC
+	bounds := []int64{0, 137, 1000, 1001, 4096, 9000, 10000}
+	for i := 1; i < len(bounds); i++ {
+		lo, hi := bounds[i-1], bounds[i]
+		blocks = append(blocks, blockCRC{
+			off: lo, n: hi - lo,
+			crc: crc32.Checksum(data[lo:hi], crcTable),
+		})
+	}
+	rand.New(rand.NewSource(9)).Shuffle(len(blocks), func(i, j int) {
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	})
+	got, ok := combineBlocks(blocks, int64(len(data)))
+	if !ok || got != whole {
+		t.Errorf("combineBlocks = %08x ok=%v, want %08x", got, ok, whole)
+	}
+}
+
+func TestCombineBlocksDetectsGapsAndOverlaps(t *testing.T) {
+	gap := []blockCRC{{off: 0, n: 10}, {off: 20, n: 10}}
+	if _, ok := combineBlocks(gap, 30); ok {
+		t.Error("gap accepted")
+	}
+	overlap := []blockCRC{{off: 0, n: 20}, {off: 10, n: 20}}
+	if _, ok := combineBlocks(overlap, 30); ok {
+		t.Error("overlap accepted")
+	}
+	short := []blockCRC{{off: 0, n: 10}}
+	if _, ok := combineBlocks(short, 30); ok {
+		t.Error("short tiling accepted")
+	}
+}
+
+func TestFetchWithChecksumVerification(t *testing.T) {
+	// Striped transfer with checksum verification on: block CRCs from
+	// four streams must combine to the server's whole-file CRC.
+	ds := dataset.NewGenerator(30).Uniform(4, 2*units.MB)
+	srv := synthServer(t, ds, func(c *ServerConfig) { c.BlockSize = 96 * 1024 })
+	client := &Client{Addr: srv.Addr(), VerifyChecksums: true}
+	ch, err := client.OpenChannel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	res, err := ch.Fetch(ds.Files, 2, NewVerifySink())
+	if err != nil {
+		t.Fatalf("checksum-verified fetch failed: %v", err)
+	}
+	if res.Bytes != ds.TotalSize() {
+		t.Errorf("moved %v of %v", res.Bytes, ds.TotalSize())
+	}
+}
+
+func TestChecksumCatchesCorruption(t *testing.T) {
+	// Corruption is simulated on the record side: tamper with the
+	// recorded block CRC via a hand-built pendingGet.
+	p := &pendingGet{length: 100}
+	data := make([]byte, 100)
+	FillSynth("x", 0, data)
+	p.recordBlock(0, data)
+	p.crc = crc32.Checksum(data, crcTable)
+	if err := p.verifyChecksum(); err != nil {
+		t.Fatalf("clean verification failed: %v", err)
+	}
+	p.blocks[0].crc ^= 1
+	if err := p.verifyChecksum(); err == nil {
+		t.Error("corrupted block CRC passed verification")
+	}
+}
+
+func TestSortBlocks(t *testing.T) {
+	blocks := []blockCRC{{off: 30}, {off: 0}, {off: 20}, {off: 10}}
+	sortBlocks(blocks)
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].off < blocks[i-1].off {
+			t.Fatalf("not sorted: %+v", blocks)
+		}
+	}
+}

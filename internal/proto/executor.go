@@ -1,0 +1,614 @@
+package proto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// EnergySource reports cumulative transfer energy (implemented by
+// internal/monitor's RAPL and model estimators).
+type EnergySource interface {
+	Total() (units.Joules, error)
+}
+
+// zeroEnergy is used when no estimator is supplied.
+type zeroEnergy struct{}
+
+func (zeroEnergy) Total() (units.Joules, error) { return 0, nil }
+
+// Executor runs transfer plans against a real server over TCP,
+// implementing the same contract the simulator does — so MinE, HTEE
+// and SLAEE drive real sockets unchanged.
+type Executor struct {
+	// Client connects to the server; its Counters field is managed by
+	// the executor.
+	Client *Client
+	// Sink receives the payload.
+	Sink Sink
+	// Energy estimates end-system energy; optional.
+	Energy EnergySource
+	// Environment describes the path for the algorithms' parameter
+	// formulas (BDP, buffer size) and budget checks.
+	Environment transfer.Environment
+	// ResumeOffsets maps file names to byte offsets already present at
+	// the destination (from ResumeRanges); those bytes are skipped.
+	ResumeOffsets map[string]units.Bytes
+	// MaxRetries is how many times a file transfer is re-attempted
+	// after a transport failure (the channel is re-dialed each time).
+	// Zero means failures are fatal.
+	MaxRetries int
+	// Label names the algorithm in reports.
+	Label string
+}
+
+// Env implements transfer.Executor.
+func (e *Executor) Env() transfer.Environment { return e.Environment }
+
+// Run implements transfer.Executor.
+func (e *Executor) Run(ctx context.Context, plan transfer.Plan) (transfer.Report, error) {
+	sess, err := e.Start(ctx, plan)
+	if err != nil {
+		return transfer.Report{}, err
+	}
+	return sess.Finish()
+}
+
+// Start implements transfer.Executor.
+func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Session, error) {
+	if e.Client == nil || e.Sink == nil {
+		return nil, errors.New("proto: executor needs a client and a sink")
+	}
+	if err := plan.Validate(e.Environment); err != nil {
+		return nil, err
+	}
+	energy := e.Energy
+	if energy == nil {
+		energy = zeroEnergy{}
+	}
+	if e.Client.Counters == nil {
+		e.Client.Counters = &Counters{}
+	}
+	s := &realSession{
+		exec:   e,
+		ctx:    ctx,
+		plan:   plan,
+		energy: energy,
+		start:  time.Now(),
+		doneCh: make(chan struct{}),
+	}
+	for i := range plan.Chunks {
+		cp := plan.Chunks[i]
+		rc := &realChunk{plan: cp}
+		for _, f := range cp.Chunk.Files {
+			r := FileRange{File: f, Offset: e.ResumeOffsets[f.Name]}
+			if r.Remaining() == 0 {
+				continue // already complete at the destination
+			}
+			rc.queue = append(rc.queue, queuedRange{r: r})
+			s.total += r.Remaining()
+		}
+		s.chunks = append(s.chunks, rc)
+	}
+	// Prime the energy source so the first window is measured.
+	if _, err := energy.Total(); err != nil {
+		return nil, fmt.Errorf("proto: energy source unusable: %w", err)
+	}
+	// A fully-resumed plan has nothing left to move.
+	s.signalDoneIfComplete()
+	var targets []int
+	if plan.Sequential {
+		targets = make([]int, len(s.chunks))
+		targets[0] = plan.TotalChannels()
+	} else {
+		targets = make([]int, len(s.chunks))
+		for i, cp := range plan.Chunks {
+			targets[i] = cp.Channels
+		}
+	}
+	if err := s.reconcile(targets); err != nil {
+		s.stopAll()
+		return nil, err
+	}
+	return s, nil
+}
+
+// realChunk is a chunk's shared work queue.
+type realChunk struct {
+	plan transfer.ChunkPlan
+
+	mu      sync.Mutex
+	queue   []queuedRange
+	next    int
+	retries []queuedRange
+}
+
+// queuedRange tracks how often a range has been attempted.
+type queuedRange struct {
+	r        FileRange
+	attempts int
+}
+
+func (c *realChunk) pop() (queuedRange, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.retries); n > 0 {
+		q := c.retries[n-1]
+		c.retries = c.retries[:n-1]
+		return q, true
+	}
+	if c.next >= len(c.queue) {
+		return queuedRange{}, false
+	}
+	f := c.queue[c.next]
+	c.next++
+	return f, true
+}
+
+// requeue returns a failed range for another attempt.
+func (c *realChunk) requeue(q queuedRange) {
+	c.mu.Lock()
+	c.retries = append(c.retries, q)
+	c.mu.Unlock()
+}
+
+func (c *realChunk) remaining() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue) - c.next + len(c.retries)
+}
+
+func (c *realChunk) remainingBytes() units.Bytes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total units.Bytes
+	for _, q := range c.queue[c.next:] {
+		total += q.r.Remaining()
+	}
+	for _, q := range c.retries {
+		total += q.r.Remaining()
+	}
+	return total
+}
+
+// realWorker is one live channel bound to a chunk.
+type realWorker struct {
+	chunk *realChunk
+	stop  chan struct{} // closed to ask the worker to drain and exit
+}
+
+type realSession struct {
+	exec   *Executor
+	ctx    context.Context
+	plan   transfer.Plan
+	energy EnergySource
+	start  time.Time
+
+	mu        sync.Mutex
+	chunks    []*realChunk
+	workers   map[*realWorker]struct{}
+	wg        sync.WaitGroup
+	total     units.Bytes
+	completed units.Bytes
+	firstErr  error
+	finished  bool
+
+	doneCh   chan struct{}
+	doneOnce sync.Once
+
+	lastBytes  units.Bytes
+	lastEnergy units.Joules
+	elapsed    time.Duration
+	samples    []transfer.Sample
+}
+
+// reconcile adjusts live workers per chunk to the target allocation.
+func (s *realSession) reconcile(targets []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workers == nil {
+		s.workers = make(map[*realWorker]struct{})
+	}
+	current := make(map[*realChunk][]*realWorker)
+	for w := range s.workers {
+		current[w.chunk] = append(current[w.chunk], w)
+	}
+	for i, rc := range s.chunks {
+		want := targets[i]
+		have := current[rc]
+		for len(have) > want {
+			w := have[len(have)-1]
+			have = have[:len(have)-1]
+			close(w.stop)
+			delete(s.workers, w)
+		}
+		for len(have) < want {
+			w := &realWorker{chunk: rc, stop: make(chan struct{})}
+			ch, err := s.exec.Client.OpenChannel(maxI(1, rc.plan.Parallelism()))
+			if err != nil {
+				return fmt.Errorf("proto: opening channel: %w", err)
+			}
+			s.workers[w] = struct{}{}
+			have = append(have, w)
+			s.wg.Add(1)
+			go s.runWorker(w, ch)
+		}
+	}
+	return nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runWorker pumps files from the worker's chunk through its channel,
+// keeping the chunk's pipelining depth of GETs outstanding. Transport
+// failures requeue the outstanding ranges and re-dial the channel, up
+// to the executor's retry budget per range.
+func (s *realSession) runWorker(w *realWorker, ch *Channel) {
+	type inflight struct {
+		p *pendingGet
+		q queuedRange
+	}
+	var window []inflight
+
+	defer func() {
+		if ch != nil {
+			ch.Close()
+		}
+	}()
+	defer s.wg.Done()
+
+	// requeueWindow sends every outstanding range back for another
+	// attempt (or fails the session when one is out of retries).
+	requeueWindow := func() bool {
+		ok := true
+		for _, f := range window {
+			f.q.attempts++
+			if f.q.attempts > s.exec.MaxRetries {
+				ok = false
+				continue
+			}
+			w.chunk.requeue(f.q)
+		}
+		window = window[:0]
+		return ok
+	}
+	// redial replaces a broken channel.
+	redial := func(cause error) bool {
+		ch.Close()
+		ch = nil
+		if !requeueWindow() {
+			s.fail(fmt.Errorf("proto: transfer failed after %d retries: %w", s.exec.MaxRetries, cause))
+			return false
+		}
+		next, err := s.exec.Client.OpenChannel(maxI(1, w.chunk.plan.Parallelism()))
+		if err != nil {
+			s.fail(fmt.Errorf("proto: re-dialing after %v: %w", cause, err))
+			return false
+		}
+		ch = next
+		return true
+	}
+	// settle waits for the oldest request; a failure triggers the
+	// retry path and reports whether the worker should continue.
+	settle := func() bool {
+		f := window[0]
+		window = window[1:]
+		if err := ch.finish(f.p); err != nil {
+			window = append([]inflight{f}, window...)
+			return redial(err)
+		}
+		if err := s.exec.Sink.Close(f.p.name); err != nil {
+			s.fail(err)
+			return false
+		}
+		s.addCompleted(units.Bytes(f.p.length))
+		return true
+	}
+	drain := func() {
+		for len(window) > 0 {
+			if !settle() {
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-w.stop:
+			drain()
+			return
+		default:
+		}
+		if s.ctx != nil && s.ctx.Err() != nil {
+			drain()
+			s.fail(s.ctx.Err())
+			return
+		}
+		pipe := w.chunk.plan.Pipelining()
+		issued := false
+		for len(window) < pipe {
+			q, ok := w.chunk.pop()
+			if !ok {
+				break
+			}
+			p, err := ch.get(q.r, s.exec.Sink)
+			if err != nil {
+				q.attempts++
+				if q.attempts > s.exec.MaxRetries {
+					s.fail(fmt.Errorf("proto: issuing GET failed after %d retries: %w", s.exec.MaxRetries, err))
+					return
+				}
+				w.chunk.requeue(q)
+				if !redial(err) {
+					return
+				}
+				continue
+			}
+			window = append(window, inflight{p: p, q: q})
+			issued = true
+		}
+		if len(window) == 0 {
+			// Chunk drained: move on per the plan's policy.
+			next := s.nextChunkFor(w)
+			if next == nil {
+				return
+			}
+			s.mu.Lock()
+			w.chunk = next
+			s.mu.Unlock()
+			continue
+		}
+		if !issued || len(window) >= pipe {
+			if !settle() {
+				return
+			}
+		}
+	}
+}
+
+// nextChunkFor mirrors the simulator's reallocation policy.
+func (s *realSession) nextChunkFor(w *realWorker) *realChunk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plan.Sequential {
+		for _, rc := range s.chunks {
+			if rc != w.chunk && rc.remaining() > 0 {
+				return rc
+			}
+		}
+		return nil
+	}
+	if !s.plan.ReallocOnComplete {
+		return nil
+	}
+	var best *realChunk
+	for _, rc := range s.chunks {
+		if rc == w.chunk || !rc.plan.AcceptRealloc || rc.remaining() == 0 {
+			continue
+		}
+		if best == nil || rc.remainingBytes() > best.remainingBytes() {
+			best = rc
+		}
+	}
+	return best
+}
+
+func (s *realSession) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+	s.signalDoneIfComplete()
+}
+
+func (s *realSession) addCompleted(n units.Bytes) {
+	s.mu.Lock()
+	s.completed += n
+	s.mu.Unlock()
+	s.signalDoneIfComplete()
+}
+
+func (s *realSession) signalDoneIfComplete() {
+	s.mu.Lock()
+	done := s.completed >= s.total || s.firstErr != nil
+	s.mu.Unlock()
+	if done {
+		s.doneOnce.Do(func() { close(s.doneCh) })
+	}
+}
+
+// Done implements transfer.Session.
+func (s *realSession) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed >= s.total
+}
+
+// Remaining implements transfer.Session.
+func (s *realSession) Remaining() units.Bytes {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.completed >= s.total {
+		return 0
+	}
+	return s.total - s.completed
+}
+
+// Advance implements transfer.Session: it lets the live transfer run
+// for (up to) d of wall-clock time and reports the window.
+func (s *realSession) Advance(d time.Duration) (transfer.Sample, error) {
+	if d <= 0 {
+		return transfer.Sample{}, fmt.Errorf("proto: non-positive advance %v", d)
+	}
+	if err := s.err(); err != nil {
+		return transfer.Sample{}, err
+	}
+	winStart := s.elapsed
+	if !s.Done() {
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-s.doneCh:
+			timer.Stop()
+		}
+	}
+	now := time.Since(s.start)
+	bytes := s.exec.Client.Counters.Bytes()
+	energy, eErr := s.energy.Total()
+	if eErr != nil {
+		return transfer.Sample{}, eErr
+	}
+	sample := transfer.Sample{
+		Start:           winStart,
+		Duration:        now - s.elapsed,
+		Bytes:           bytes - s.lastBytes,
+		EndSystemEnergy: energy - s.lastEnergy,
+		ActiveChannels:  s.liveWorkers(),
+	}
+	sample.Throughput = units.RateOf(sample.Bytes, sample.Duration)
+	s.elapsed = now
+	s.lastBytes = bytes
+	s.lastEnergy = energy
+	s.samples = append(s.samples, sample)
+	if err := s.err(); err != nil {
+		return transfer.Sample{}, err
+	}
+	return sample, nil
+}
+
+func (s *realSession) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+func (s *realSession) liveWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workers)
+}
+
+// SetTotalChannels implements transfer.Session with the same
+// weight-proportional split as the simulator.
+func (s *realSession) SetTotalChannels(n int) error {
+	if n < 1 {
+		return fmt.Errorf("proto: total channels %d < 1", n)
+	}
+	if s.Environment().MaxChannels > 0 && n > s.Environment().MaxChannels {
+		return fmt.Errorf("proto: total channels %d exceeds budget %d", n, s.Environment().MaxChannels)
+	}
+	type cw struct {
+		idx  int
+		frac float64
+	}
+	s.mu.Lock()
+	var totalWeight float64
+	var live []int
+	for i, rc := range s.chunks {
+		if rc.remaining() > 0 {
+			live = append(live, i)
+			totalWeight += rc.plan.Weight
+		}
+	}
+	s.mu.Unlock()
+	if len(live) == 0 {
+		return nil
+	}
+	targets := make([]int, len(s.chunks))
+	used := 0
+	fracs := make([]cw, 0, len(live))
+	for _, i := range live {
+		w := s.chunks[i].plan.Weight
+		if totalWeight <= 0 {
+			w = 1.0 / float64(len(live))
+		} else {
+			w /= totalWeight
+		}
+		exact := float64(n) * w
+		targets[i] = int(exact)
+		used += targets[i]
+		fracs = append(fracs, cw{idx: i, frac: exact - float64(targets[i])})
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].frac > fracs[b].frac })
+	for k := 0; used < n; k++ {
+		targets[fracs[k%len(fracs)].idx]++
+		used++
+	}
+	return s.reconcile(targets)
+}
+
+// SetAllocation implements transfer.Session.
+func (s *realSession) SetAllocation(channels []int) error {
+	if len(channels) != len(s.chunks) {
+		return fmt.Errorf("proto: allocation for %d chunks, plan has %d", len(channels), len(s.chunks))
+	}
+	total := 0
+	for i, n := range channels {
+		if n < 0 {
+			return fmt.Errorf("proto: chunk %d allocated %d channels", i, n)
+		}
+		total += n
+	}
+	if total == 0 {
+		return errors.New("proto: allocation has no channels")
+	}
+	return s.reconcile(channels)
+}
+
+func (s *realSession) Environment() transfer.Environment { return s.exec.Environment }
+
+// Finish implements transfer.Session.
+func (s *realSession) Finish() (transfer.Report, error) {
+	<-s.doneCh
+	s.stopAll()
+	s.wg.Wait()
+	if err := s.err(); err != nil {
+		return transfer.Report{}, err
+	}
+	duration := time.Since(s.start)
+	bytes := s.exec.Client.Counters.Bytes()
+	energy, err := s.energy.Total()
+	if err != nil {
+		return transfer.Report{}, err
+	}
+	s.mu.Lock()
+	s.finished = true
+	s.mu.Unlock()
+	return transfer.Report{
+		Algorithm:       s.exec.Label,
+		Testbed:         s.exec.Client.Addr,
+		Duration:        duration,
+		Bytes:           bytes,
+		Throughput:      units.RateOf(bytes, duration),
+		EndSystemEnergy: energy,
+		AvgPower:        units.Power(energy, duration),
+		Samples:         s.samples,
+	}, nil
+}
+
+func (s *realSession) stopAll() {
+	s.mu.Lock()
+	for w := range s.workers {
+		select {
+		case <-w.stop:
+		default:
+			close(w.stop)
+		}
+	}
+	s.mu.Unlock()
+}
+
+var _ transfer.Executor = (*Executor)(nil)
+var _ transfer.Session = (*realSession)(nil)

@@ -1,0 +1,160 @@
+package proto
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// chaosProxy forwards TCP to a backend and can kill every live
+// connection on demand — the failure-injection harness for transport
+// resilience tests.
+type chaosProxy struct {
+	ln      net.Listener
+	backend string
+
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+}
+
+func newChaosProxy(t *testing.T, backend string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, backend: backend}
+	go p.acceptLoop()
+	t.Cleanup(func() { p.close() })
+	return p
+}
+
+func (p *chaosProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, client, server)
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(client, server)
+		go p.pipe(server, client)
+	}
+}
+
+func (p *chaosProxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	_, _ = io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+}
+
+// killAll severs every live connection (both directions).
+func (p *chaosProxy) killAll() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *chaosProxy) close() {
+	p.ln.Close()
+	p.killAll()
+	p.wg.Wait()
+}
+
+func TestExecutorSurvivesConnectionKill(t *testing.T) {
+	ds := dataset.NewGenerator(50).Uniform(30, 400*units.KB)
+	srv := synthServer(t, ds, func(c *ServerConfig) {
+		c.PerStreamRate = 60 * units.Mbps // slow enough that the kill lands mid-flight
+	})
+	proxy := newChaosProxy(t, srv.Addr())
+
+	sink := NewVerifySink()
+	exec := &Executor{
+		Client:      &Client{Addr: proxy.addr(), Counters: &Counters{}, VerifyChecksums: true},
+		Sink:        sink,
+		Environment: testEnv(),
+		MaxRetries:  4,
+	}
+	chunk := dataset.Chunk{Class: dataset.Large, Files: ds.Files, Parallelism: 2, Pipelining: 3}
+	plan := planForChunk(chunk, 2)
+
+	sess, err := exec.Start(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the transfer get going, then rip out every connection twice.
+	for i := 0; i < 2; i++ {
+		time.Sleep(150 * time.Millisecond)
+		proxy.killAll()
+	}
+	r, err := sess.Finish()
+	if err != nil {
+		t.Fatalf("transfer did not survive connection kill: %v", err)
+	}
+	// Retried files re-send bytes, so the wire count may exceed the
+	// dataset size — what matters is that every file arrived complete
+	// and uncorrupted.
+	if r.Bytes < ds.TotalSize() {
+		t.Errorf("moved only %v of %v after kills", r.Bytes, ds.TotalSize())
+	}
+	for _, f := range ds.Files {
+		if got := sink.BytesFor(f.Name); got < int64(f.Size) {
+			t.Errorf("%s incomplete after retries: %d of %d", f.Name, got, f.Size)
+		}
+	}
+	if bad := sink.Corrupt(); len(bad) > 0 {
+		t.Errorf("corruption after retries: %v", bad)
+	}
+}
+
+func TestExecutorFailsWithoutRetryBudget(t *testing.T) {
+	ds := dataset.NewGenerator(51).Uniform(20, 500*units.KB)
+	srv := synthServer(t, ds, func(c *ServerConfig) {
+		c.PerStreamRate = 40 * units.Mbps
+	})
+	proxy := newChaosProxy(t, srv.Addr())
+	exec := &Executor{
+		Client:      &Client{Addr: proxy.addr(), Counters: &Counters{}},
+		Sink:        NewVerifySink(),
+		Environment: testEnv(),
+		MaxRetries:  0,
+	}
+	chunk := dataset.Chunk{Class: dataset.Large, Files: ds.Files, Parallelism: 1, Pipelining: 2}
+	sess, err := exec.Start(context.Background(), planForChunk(chunk, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	proxy.killAll()
+	if _, err := sess.Finish(); err == nil {
+		t.Error("zero-retry transfer survived a connection kill")
+	}
+}
+
+func planForChunk(chunk dataset.Chunk, channels int) transfer.Plan {
+	return transfer.Plan{
+		Chunks: []transfer.ChunkPlan{{Chunk: chunk, Channels: channels, Weight: 1, AcceptRealloc: true}},
+	}
+}

@@ -1,0 +1,67 @@
+package proto
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/units"
+)
+
+// FileRange is a file together with the offset transfer should start
+// from — the unit of resumable transfers. A zero offset fetches the
+// whole file.
+type FileRange struct {
+	File   dataset.File
+	Offset units.Bytes
+}
+
+// Remaining returns the bytes the range will move.
+func (r FileRange) Remaining() units.Bytes {
+	if r.Offset >= r.File.Size {
+		return 0
+	}
+	return r.File.Size - r.Offset
+}
+
+// WholeFiles wraps files as full-fetch ranges.
+func WholeFiles(files []dataset.File) []FileRange {
+	ranges := make([]FileRange, len(files))
+	for i, f := range files {
+		ranges[i] = FileRange{File: f}
+	}
+	return ranges
+}
+
+// ResumeRanges inspects a DirSink destination tree and plans the
+// minimal transfer completing it: files already at full size are
+// skipped, partial files resume from their current length, missing
+// files fetch whole. It returns the ranges plus the byte count already
+// present (skipped work).
+func ResumeRanges(root string, files []dataset.File) ([]FileRange, units.Bytes, error) {
+	var ranges []FileRange
+	var skipped units.Bytes
+	for _, f := range files {
+		clean := filepath.Clean(filepath.FromSlash(f.Name))
+		if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+			return nil, 0, fmt.Errorf("proto: path %q escapes destination root", f.Name)
+		}
+		info, err := os.Stat(filepath.Join(root, clean))
+		switch {
+		case err == nil && units.Bytes(info.Size()) >= f.Size:
+			skipped += f.Size
+			continue
+		case err == nil:
+			have := units.Bytes(info.Size())
+			skipped += have
+			ranges = append(ranges, FileRange{File: f, Offset: have})
+		case os.IsNotExist(err):
+			ranges = append(ranges, FileRange{File: f})
+		default:
+			return nil, 0, err
+		}
+	}
+	return ranges, skipped, nil
+}

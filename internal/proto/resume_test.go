@@ -1,0 +1,188 @@
+package proto
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/units"
+)
+
+func TestFileRangeRemaining(t *testing.T) {
+	f := dataset.File{Name: "x", Size: 100}
+	if (FileRange{File: f}).Remaining() != 100 {
+		t.Error("whole file remaining wrong")
+	}
+	if (FileRange{File: f, Offset: 40}).Remaining() != 60 {
+		t.Error("partial remaining wrong")
+	}
+	if (FileRange{File: f, Offset: 100}).Remaining() != 0 {
+		t.Error("complete file should have 0 remaining")
+	}
+	if (FileRange{File: f, Offset: 150}).Remaining() != 0 {
+		t.Error("over-long offset should clamp to 0")
+	}
+}
+
+func TestResumeRangesPlanning(t *testing.T) {
+	root := t.TempDir()
+	files := []dataset.File{
+		{Name: "done.bin", Size: 100},
+		{Name: "partial.bin", Size: 200},
+		{Name: "sub/missing.bin", Size: 300},
+	}
+	if err := os.WriteFile(filepath.Join(root, "done.bin"), make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "partial.bin"), make([]byte, 80), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ranges, skipped, err := ResumeRanges(root, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 180 { // 100 complete + 80 partial
+		t.Errorf("skipped = %v, want 180", skipped)
+	}
+	if len(ranges) != 2 {
+		t.Fatalf("planned %d ranges, want 2", len(ranges))
+	}
+	if ranges[0].File.Name != "partial.bin" || ranges[0].Offset != 80 {
+		t.Errorf("partial range wrong: %+v", ranges[0])
+	}
+	if ranges[1].File.Name != "sub/missing.bin" || ranges[1].Offset != 0 {
+		t.Errorf("missing range wrong: %+v", ranges[1])
+	}
+}
+
+func TestResumeRangesRejectsEscapes(t *testing.T) {
+	if _, _, err := ResumeRanges(t.TempDir(), []dataset.File{{Name: "../evil", Size: 1}}); err == nil {
+		t.Error("path escape accepted")
+	}
+}
+
+func TestResumedTransferCompletesFile(t *testing.T) {
+	// Interrupt simulation: destination already holds a correct prefix;
+	// the resumed ranged fetch must complete the file byte-exactly.
+	ds := dataset.Dataset{Files: []dataset.File{{Name: "big.dat", Size: units.Bytes(900_000)}}}
+	srv := synthServer(t, ds, func(c *ServerConfig) { c.BlockSize = 64 * 1024 })
+
+	dst := t.TempDir()
+	prefix := make([]byte, 300_000)
+	FillSynth("big.dat", 0, prefix)
+	if err := os.WriteFile(filepath.Join(dst, "big.dat"), prefix, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &Client{Addr: srv.Addr(), VerifyChecksums: true}
+	files, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, skipped, err := ResumeRanges(dst, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 300_000 || len(ranges) != 1 || ranges[0].Offset != 300_000 {
+		t.Fatalf("resume plan wrong: skipped=%v ranges=%+v", skipped, ranges)
+	}
+
+	ch, err := client.OpenChannel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	sink := NewDirSink(dst)
+	res, err := ch.FetchRanges(ranges, 2, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 600_000 {
+		t.Errorf("resumed fetch moved %v, want 600000", res.Bytes)
+	}
+
+	got, err := os.ReadFile(filepath.Join(dst, "big.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 900_000)
+	FillSynth("big.dat", 0, want)
+	if !bytes.Equal(got, want) {
+		t.Error("resumed file content wrong")
+	}
+
+	// A second resume plan finds nothing left to do.
+	ranges, skipped, err = ResumeRanges(dst, files)
+	if err != nil || len(ranges) != 0 || skipped != 900_000 {
+		t.Errorf("post-completion plan: ranges=%v skipped=%v err=%v", ranges, skipped, err)
+	}
+}
+
+func TestRangedFetchChecksumCoversRangeOnly(t *testing.T) {
+	// The server's DONE checksum covers the requested range; the
+	// client's combined block CRCs (normalized by the range offset)
+	// must match it.
+	ds := dataset.Dataset{Files: []dataset.File{{Name: "r.dat", Size: 500_000}}}
+	srv := synthServer(t, ds, func(c *ServerConfig) { c.BlockSize = 32 * 1024 })
+	client := &Client{Addr: srv.Addr(), VerifyChecksums: true}
+	ch, err := client.OpenChannel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	r := FileRange{File: ds.Files[0], Offset: 123_456}
+	if _, err := ch.FetchRanges([]FileRange{r}, 1, NewVerifySink()); err != nil {
+		t.Fatalf("ranged checksum fetch failed: %v", err)
+	}
+}
+
+func TestRealExecutorResume(t *testing.T) {
+	// Half the dataset is already at the destination; the executor must
+	// move only the remainder.
+	ds := dataset.NewGenerator(31).Uniform(8, 200*units.KB)
+	srv := synthServer(t, ds, nil)
+
+	offsets := map[string]units.Bytes{
+		ds.Files[0].Name: 200 * units.KB, // complete
+		ds.Files[1].Name: 50 * units.KB,  // partial
+	}
+	exec := &Executor{
+		Client:        &Client{Addr: srv.Addr(), Counters: &Counters{}, VerifyChecksums: true},
+		Sink:          NewVerifySink(),
+		Environment:   testEnv(),
+		ResumeOffsets: offsets,
+	}
+	plan := planFor(ds, 2, 1, 2)
+	r, err := exec.Run(nil, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ds.TotalSize() - 250*units.KB
+	if r.Bytes != want {
+		t.Errorf("resumed executor moved %v, want %v", r.Bytes, want)
+	}
+}
+
+func TestRealExecutorFullyResumed(t *testing.T) {
+	ds := dataset.NewGenerator(32).Uniform(2, 10*units.KB)
+	srv := synthServer(t, ds, nil)
+	offsets := map[string]units.Bytes{
+		ds.Files[0].Name: 10 * units.KB,
+		ds.Files[1].Name: 10 * units.KB,
+	}
+	exec := &Executor{
+		Client:        &Client{Addr: srv.Addr(), Counters: &Counters{}},
+		Sink:          NewVerifySink(),
+		Environment:   testEnv(),
+		ResumeOffsets: offsets,
+	}
+	r, err := exec.Run(nil, planFor(ds, 1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != 0 {
+		t.Errorf("fully-resumed run moved %v bytes", r.Bytes)
+	}
+}

@@ -1,0 +1,498 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+// ServerConfig shapes a transfer server.
+type ServerConfig struct {
+	Store Store
+	// PerStreamRate caps each data stream (the stand-in for the TCP
+	// window limit); zero means unlimited.
+	PerStreamRate units.Rate
+	// LinkRate caps the aggregate of all data streams; zero means
+	// unlimited.
+	LinkRate units.Rate
+	// ControlRTT is the emulated round-trip time of the control
+	// channel: requests and completions are each delayed by half of
+	// it. Pipelining exists to hide exactly this delay.
+	ControlRTT time.Duration
+	// BlockSize is the striping unit; DefaultBlockSize when zero.
+	BlockSize int
+	// DataDialTimeout bounds how long OPEN waits for the client's data
+	// connections to arrive.
+	DataDialTimeout time.Duration
+	// Logf receives diagnostic messages; silent when nil.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) blockSize() int {
+	if c.BlockSize > 0 {
+		return c.BlockSize
+	}
+	return DefaultBlockSize
+}
+
+func (c ServerConfig) dialTimeout() time.Duration {
+	if c.DataDialTimeout > 0 {
+		return c.DataDialTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c ServerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Server accepts control and data connections and serves GETs.
+type Server struct {
+	cfg  ServerConfig
+	ln   net.Listener
+	link *Limiter
+
+	bytesServed   atomic.Int64
+	requestsDone  atomic.Int64
+	totalSessions atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[uint64]*serverSession
+	nextSID  uint64
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Stats is a snapshot of a server's lifetime counters.
+type Stats struct {
+	// ActiveSessions is the number of open control sessions.
+	ActiveSessions int
+	// TotalSessions counts sessions ever opened.
+	TotalSessions int64
+	// RequestsServed counts completed GETs.
+	RequestsServed int64
+	// BytesServed counts payload bytes written to data streams.
+	BytesServed units.Bytes
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{
+		ActiveSessions: active,
+		TotalSessions:  s.totalSessions.Load(),
+		RequestsServed: s.requestsDone.Load(),
+		BytesServed:    units.Bytes(s.bytesServed.Load()),
+	}
+}
+
+// Serve starts a server on ln. Close the server to stop it.
+func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("proto: server needs a store")
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		link:     NewLimiter(cfg.LinkRate),
+		sessions: make(map[uint64]*serverSession),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// ListenAndServe starts a server on addr.
+func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, cfg)
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and tears down all sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*serverSession, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sess := range sessions {
+		sess.close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn classifies a connection by its first line: "HELLO" starts
+// a control session, "DATA <sid> <idx>" attaches a data stream.
+func (s *Server) handleConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64*1024)
+	verb, fields, err := readLine(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch verb {
+	case "HELLO":
+		s.runControl(conn, br)
+	case cmdData:
+		if len(fields) != 2 {
+			fmt.Fprintf(conn, "%s bad DATA handshake\n", respErr)
+			conn.Close()
+			return
+		}
+		sid, err1 := strconv.ParseUint(fields[0], 10, 64)
+		idx, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || idx < 0 {
+			fmt.Fprintf(conn, "%s bad DATA handshake\n", respErr)
+			conn.Close()
+			return
+		}
+		s.mu.Lock()
+		sess := s.sessions[sid]
+		s.mu.Unlock()
+		if sess == nil {
+			fmt.Fprintf(conn, "%s unknown session\n", respErr)
+			conn.Close()
+			return
+		}
+		sess.attachData(idx, conn)
+	default:
+		fmt.Fprintf(conn, "%s expected HELLO or DATA\n", respErr)
+		conn.Close()
+	}
+}
+
+// serverSession is one control connection plus its data streams.
+type serverSession struct {
+	srv  *Server
+	sid  uint64
+	ctrl net.Conn
+
+	writeMu sync.Mutex // guards ctrl writes
+
+	dataMu  sync.Mutex
+	data    []net.Conn
+	dataGot chan struct{}
+
+	reqs   chan getRequest
+	closed atomic.Bool
+}
+
+func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.nextSID++
+	s.totalSessions.Add(1)
+	sess := &serverSession{
+		srv:     s,
+		sid:     s.nextSID,
+		ctrl:    conn,
+		dataGot: make(chan struct{}, 1),
+		reqs:    make(chan getRequest, 1024),
+	}
+	s.sessions[sess.sid] = sess
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess.sid)
+		s.mu.Unlock()
+		sess.close()
+	}()
+
+	sess.send("%s %d\n", respOK, sess.sid)
+
+	// Request propagation and completion delivery each carry half the
+	// control RTT; the server loop itself never waits on the client,
+	// which is what makes pipelined GETs back-to-back.
+	reqQueue := newDelayQueue(s.cfg.ControlRTT/2, 1024, func(r getRequest) {
+		select {
+		case sess.reqs <- r:
+		default:
+			sess.send("%s %d request queue overflow\n", respErr, r.ID)
+		}
+	})
+	defer reqQueue.Close()
+	doneQueue := newDelayQueue(s.cfg.ControlRTT/2, 1024, func(line string) {
+		sess.sendRaw(line)
+	})
+	defer doneQueue.Close()
+
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() {
+		defer serveWG.Done()
+		sess.serveLoop(doneQueue)
+	}()
+	defer serveWG.Wait()
+	defer close(sess.reqs)
+
+	for {
+		verb, fields, err := readLine(br)
+		if err != nil {
+			return
+		}
+		switch verb {
+		case cmdList:
+			files, err := s.cfg.Store.List()
+			if err != nil {
+				sess.send("%s %v\n", respErr, err)
+				continue
+			}
+			sess.writeMu.Lock()
+			bw := bufio.NewWriter(sess.ctrl)
+			for _, f := range files {
+				fmt.Fprintf(bw, "%s %d %s\n", respFile, int64(f.Size), escapeName(f.Name))
+			}
+			fmt.Fprintf(bw, "%s\n", respEnd)
+			bw.Flush()
+			sess.writeMu.Unlock()
+		case cmdOpen:
+			if len(fields) != 1 {
+				sess.send("%s OPEN wants a stream count\n", respErr)
+				continue
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 1 || n > 256 {
+				sess.send("%s bad stream count %q\n", respErr, fields[0])
+				continue
+			}
+			if err := sess.waitForStreams(n, s.cfg.dialTimeout()); err != nil {
+				sess.send("%s %v\n", respErr, err)
+				continue
+			}
+			sess.send("%s %d\n", respOK, n)
+		case cmdGet:
+			req, err := parseGet(fields)
+			if err != nil {
+				sess.send("%s %v\n", respErr, err)
+				continue
+			}
+			reqQueue.Push(req)
+		case cmdQuit:
+			return
+		default:
+			sess.send("%s unknown command %q\n", respErr, verb)
+		}
+	}
+}
+
+func (sess *serverSession) send(format string, args ...any) {
+	sess.sendRaw(fmt.Sprintf(format, args...))
+}
+
+func (sess *serverSession) sendRaw(line string) {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	if sess.closed.Load() {
+		return
+	}
+	if _, err := io.WriteString(sess.ctrl, line); err != nil {
+		sess.srv.cfg.logf("proto: control write on session %d: %v", sess.sid, err)
+	}
+}
+
+func (sess *serverSession) attachData(idx int, conn net.Conn) {
+	sess.dataMu.Lock()
+	for len(sess.data) <= idx {
+		sess.data = append(sess.data, nil)
+	}
+	if sess.data[idx] != nil {
+		sess.data[idx].Close()
+	}
+	sess.data[idx] = conn
+	sess.dataMu.Unlock()
+	select {
+	case sess.dataGot <- struct{}{}:
+	default:
+	}
+}
+
+func (sess *serverSession) waitForStreams(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		sess.dataMu.Lock()
+		have := 0
+		for _, c := range sess.data {
+			if c != nil {
+				have++
+			}
+		}
+		sess.dataMu.Unlock()
+		if have >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for %d data streams", n)
+		}
+		select {
+		case <-sess.dataGot:
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (sess *serverSession) streams() []net.Conn {
+	sess.dataMu.Lock()
+	defer sess.dataMu.Unlock()
+	var out []net.Conn
+	for _, c := range sess.data {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// serveLoop handles GETs in arrival order. Each request is striped in
+// block-sized units round-robin across the session's data streams,
+// with a per-stream writer goroutine so slow streams do not stall fast
+// ones more than the striping requires.
+func (sess *serverSession) serveLoop(doneQueue *delayQueue[string]) {
+	for req := range sess.reqs {
+		if err := sess.serveGet(req, doneQueue); err != nil {
+			sess.srv.cfg.logf("proto: session %d GET %d (%s): %v", sess.sid, req.ID, req.Name, err)
+			doneQueue.Push(fmt.Sprintf("%s %d %v\n", respErr, req.ID, err))
+		}
+	}
+}
+
+func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string]) error {
+	streams := sess.streams()
+	if len(streams) == 0 {
+		return fmt.Errorf("no data streams attached")
+	}
+	blockSize := sess.srv.cfg.blockSize()
+
+	// Per-stream block queues and writer goroutines.
+	type block struct {
+		header  blockHeader
+		payload []byte
+	}
+	queues := make([]chan block, len(streams))
+	errs := make([]error, len(streams))
+	var wg sync.WaitGroup
+	for i := range streams {
+		queues[i] = make(chan block, 4)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			perStream := NewLimiter(sess.srv.cfg.PerStreamRate)
+			w := shapedWriter{w: streams[i], limiters: []*Limiter{perStream, sess.srv.link}}
+			for b := range queues[i] {
+				if errs[i] != nil {
+					continue // drain after failure
+				}
+				if err := writeBlockHeader(w, b.header); err != nil {
+					errs[i] = err
+					continue
+				}
+				if _, err := w.Write(b.payload); err != nil {
+					errs[i] = err
+				}
+			}
+		}(i)
+	}
+
+	crc := crc32.New(crcTable)
+	var readErr error
+	offset := req.Offset
+	remaining := req.Length
+	for blockIdx := 0; remaining > 0; blockIdx++ {
+		n := int64(blockSize)
+		if n > remaining {
+			n = remaining
+		}
+		payload := make([]byte, n)
+		read, err := sess.srv.cfg.Store.ReadAt(req.Name, payload, offset)
+		if err != nil && !(err == io.EOF && int64(read) == n) {
+			readErr = fmt.Errorf("reading %s at %d: %w", req.Name, offset, err)
+			break
+		}
+		if int64(read) != n {
+			readErr = fmt.Errorf("short read on %s at %d: %d of %d", req.Name, offset, read, n)
+			break
+		}
+		crc.Write(payload)
+		queues[blockIdx%len(queues)] <- block{
+			header:  blockHeader{ReqID: req.ID, Offset: uint64(offset), Length: uint32(n)},
+			payload: payload,
+		}
+		offset += n
+		remaining -= n
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+	if readErr != nil {
+		return readErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	sess.srv.requestsDone.Add(1)
+	sess.srv.bytesServed.Add(req.Length)
+	doneQueue.Push(fmt.Sprintf("%s %d %d\n", respDone, req.ID, crc.Sum32()))
+	return nil
+}
+
+func (sess *serverSession) close() {
+	if !sess.closed.CompareAndSwap(false, true) {
+		return
+	}
+	sess.ctrl.Close()
+	sess.dataMu.Lock()
+	for _, c := range sess.data {
+		if c != nil {
+			c.Close()
+		}
+	}
+	sess.dataMu.Unlock()
+}

@@ -1,0 +1,281 @@
+// Package testbed encodes the three evaluation environments of the
+// paper's §3 (Fig. 1 specifications, Fig. 9 network maps):
+//
+//   - XSEDE: Stampede (TACC) ↔ Gordon (SDSC), 10 Gbps, 40 ms RTT,
+//     32 MB max TCP buffer, four 4-core data-transfer servers per site
+//     backed by a parallel filesystem,
+//   - FutureGrid: Alamo (TACC) ↔ Hotel (UChicago), 1 Gbps, 28 ms RTT,
+//     32 MB max TCP buffer,
+//   - DIDCLAB: WS9 ↔ WS6, 1 Gbps LAN, single-disk workstations.
+//
+// Every simulator constant lives here so that the calibration of the
+// reproduction against the paper's figures is inspectable in one place.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/netem"
+	"github.com/didclab/eta/internal/netpower"
+	"github.com/didclab/eta/internal/power"
+	"github.com/didclab/eta/internal/units"
+)
+
+// Testbed is one complete evaluation environment.
+type Testbed struct {
+	Name string
+	// Path is the end-to-end network model between the sites.
+	Path netem.Path
+	// Source and Dest describe one data-transfer server at each site
+	// (all servers of a site are identical).
+	Source, Dest endsys.Server
+	// ServersPerSite is how many data-transfer servers each site runs;
+	// Globus Online spreads channels across them (§3: "XSEDE systems
+	// consist of four data transfer servers").
+	ServersPerSite int
+	// Power is the fine-grained end-system power model with this
+	// testbed's fitted coefficients.
+	Power power.FineGrained
+	// NetChain is the device path of Fig. 9 between the end-systems.
+	NetChain netpower.Chain
+	// PerFileOverhead is the per-file service time a channel pays that
+	// pipelining cannot hide (file open/close, metadata on the striped
+	// filesystem). It is what keeps many-small-file throughput below
+	// stream capacity even at deep pipelining.
+	PerFileOverhead time.Duration
+	// MaxConcurrency is the evaluation sweep bound (12 in Figs. 2–4).
+	MaxConcurrency int
+	// BFMaxConcurrency bounds the brute-force search (20 in Fig. 2c).
+	BFMaxConcurrency int
+	// SLARefConcurrency is the ProMC concurrency whose throughput
+	// defines "maximum throughput" for the SLA experiments (§3: levels
+	// 12, 12 and 1 for XSEDE, FutureGrid and DIDCLAB).
+	SLARefConcurrency int
+	// DatasetSize and file envelope for this testbed's workload (§3).
+	DatasetSize      units.Bytes
+	MinFile, MaxFile units.Bytes
+	ClassShares      [3]float64 // byte share generated per size class
+}
+
+// Dataset generates this testbed's evaluation workload. The paper's
+// datasets mix file sizes such that every chunk class carries real byte
+// mass (otherwise multi-chunk scheduling would be pointless); we
+// generate the stated envelope with fixed byte shares per class.
+func (tb Testbed) Dataset(seed int64) dataset.Dataset {
+	g := dataset.NewGenerator(seed)
+	bdp := tb.Path.BDP()
+	type span struct {
+		lo, hi units.Bytes
+		share  float64
+	}
+	spans := []span{
+		{tb.MinFile, dataset.MediumFactor * bdp, tb.ClassShares[0]},
+		{dataset.MediumFactor * bdp, dataset.LargeFactor * bdp, tb.ClassShares[1]},
+		{dataset.LargeFactor * bdp, tb.MaxFile, tb.ClassShares[2]},
+	}
+	// Clip spans to the file envelope; shares of empty spans roll into
+	// the remaining ones so the dataset always totals DatasetSize (on a
+	// LAN the BDP is tiny and every file lands in one class).
+	var valid []span
+	var validShare float64
+	for _, sp := range spans {
+		if sp.lo < tb.MinFile {
+			sp.lo = tb.MinFile
+		}
+		if sp.hi > tb.MaxFile {
+			sp.hi = tb.MaxFile
+		}
+		if sp.share > 0 && sp.lo < sp.hi {
+			valid = append(valid, sp)
+			validShare += sp.share
+		}
+	}
+	var files []dataset.File
+	for i, sp := range valid {
+		sub := g.Mixed(units.Bytes(float64(tb.DatasetSize)*sp.share/validShare), sp.lo, sp.hi)
+		for j := range sub.Files {
+			sub.Files[j].Name = fmt.Sprintf("span%d/%s", i, sub.Files[j].Name)
+		}
+		files = append(files, sub.Files...)
+	}
+	return dataset.Dataset{Files: files}
+}
+
+// XSEDE returns the Stampede↔Gordon environment.
+func XSEDE() Testbed {
+	server := func(name string) endsys.Server {
+		return endsys.Server{
+			Name:    name,
+			Cores:   4,
+			TDP:     115,
+			NICRate: 10 * units.Gbps,
+			Disk: endsys.Disk{
+				Kind:    endsys.ParallelArray,
+				Rate:    3 * units.Gbps,
+				Stripes: 4,
+			},
+			CPUPerGbps:    3,
+			CPUPerStream:  0.8,
+			CPUBaseActive: 6,
+			MemPerGbps:    2,
+		}
+	}
+	side := []netpower.Device{
+		{Class: netpower.EdgeSwitch},
+		{Class: netpower.EnterpriseSwitch},
+		{Class: netpower.EdgeRouter},
+	}
+	chain := netpower.Chain{}
+	chain = append(chain, side...)
+	chain = append(chain, netpower.Device{Class: netpower.MetroRouter, Name: "internet2-a"},
+		netpower.Device{Class: netpower.MetroRouter, Name: "internet2-b"})
+	chain = append(chain, side...)
+	return Testbed{
+		Name: "XSEDE",
+		Path: netem.Path{
+			Bandwidth:       10 * units.Gbps,
+			RTT:             40 * time.Millisecond,
+			MaxTCPBuffer:    32 * units.MB,
+			EffStreamBuffer: 4500 * units.KB,
+			CongestionCoeff: 0.011,
+		},
+		Source:         server("stampede-dtn"),
+		Dest:           server("gordon-dtn"),
+		ServersPerSite: 4,
+		Power: power.FineGrained{Coeff: power.Coefficients{
+			CPU: power.PaperCPUQuad, Mem: 0.11, Disk: 0.08, NIC: 0.3,
+		}},
+		NetChain:          chain,
+		PerFileOverhead:   250 * time.Millisecond,
+		MaxConcurrency:    12,
+		BFMaxConcurrency:  20,
+		SLARefConcurrency: 12,
+		DatasetSize:       160 * units.GB,
+		MinFile:           3 * units.MB,
+		MaxFile:           20 * units.GB,
+		ClassShares:       [3]float64{0.25, 0.35, 0.40},
+	}
+}
+
+// FutureGrid returns the Alamo↔Hotel environment.
+func FutureGrid() Testbed {
+	server := func(name string) endsys.Server {
+		return endsys.Server{
+			Name:    name,
+			Cores:   8,
+			TDP:     80,
+			NICRate: 1 * units.Gbps,
+			Disk: endsys.Disk{
+				Kind:    endsys.ParallelArray,
+				Rate:    800 * units.Mbps,
+				Stripes: 2,
+			},
+			CPUPerGbps:    8,
+			CPUPerStream:  0.35,
+			CPUBaseActive: 1.2,
+			MemPerGbps:    6,
+		}
+	}
+	return Testbed{
+		Name: "FutureGrid",
+		Path: netem.Path{
+			Bandwidth:       1 * units.Gbps,
+			RTT:             28 * time.Millisecond,
+			MaxTCPBuffer:    32 * units.MB,
+			EffStreamBuffer: 512 * units.KB,
+			CongestionCoeff: 0.008,
+		},
+		Source:         server("alamo-dtn"),
+		Dest:           server("hotel-dtn"),
+		ServersPerSite: 1,
+		Power: power.FineGrained{Coeff: power.Coefficients{
+			CPU: power.CPUQuad{0.011 * 0.3, -0.082 * 0.3, 0.344 * 0.3},
+			Mem: 0.015, Disk: 0.01, NIC: 0.012,
+		}},
+		NetChain: netpower.Chain{
+			{Class: netpower.EdgeSwitch},
+			{Class: netpower.MetroRouter},
+			{Class: netpower.MetroRouter, Name: "internet2"},
+			{Class: netpower.EdgeSwitch},
+		},
+		PerFileOverhead:   100 * time.Millisecond,
+		MaxConcurrency:    12,
+		BFMaxConcurrency:  20,
+		SLARefConcurrency: 12,
+		DatasetSize:       40 * units.GB,
+		MinFile:           3 * units.MB,
+		MaxFile:           5 * units.GB,
+		ClassShares:       [3]float64{0.35, 0.45, 0.20},
+	}
+}
+
+// DIDCLAB returns the WS9↔WS6 LAN environment.
+func DIDCLAB() Testbed {
+	server := func(name string) endsys.Server {
+		return endsys.Server{
+			Name:    name,
+			Cores:   4,
+			TDP:     84,
+			NICRate: 1 * units.Gbps,
+			Disk: endsys.Disk{
+				Kind:            endsys.SingleDisk,
+				Rate:            620 * units.Mbps,
+				ContentionAlpha: 0.15,
+			},
+			CPUPerGbps:    10,
+			CPUPerStream:  0.15,
+			CPUBaseActive: 2,
+			MemPerGbps:    8,
+		}
+	}
+	return Testbed{
+		Name: "DIDCLAB",
+		Path: netem.Path{
+			Bandwidth:       1 * units.Gbps,
+			RTT:             400 * time.Microsecond,
+			MaxTCPBuffer:    32 * units.MB,
+			EffStreamBuffer: 1 * units.MB,
+			CongestionCoeff: 0.005,
+		},
+		Source:         server("ws9"),
+		Dest:           server("ws6"),
+		ServersPerSite: 1,
+		Power: power.FineGrained{Coeff: power.Coefficients{
+			CPU: power.CPUQuad{0.011 * 0.15, -0.082 * 0.15, 0.344 * 0.15},
+			Mem: 0.013, Disk: 0.016, NIC: 0.013,
+		}},
+		NetChain: netpower.Chain{
+			{Class: netpower.EdgeSwitch, Name: "lan-switch"},
+		},
+		PerFileOverhead:   40 * time.Millisecond,
+		MaxConcurrency:    12,
+		BFMaxConcurrency:  20,
+		SLARefConcurrency: 1,
+		DatasetSize:       40 * units.GB,
+		MinFile:           3 * units.MB,
+		MaxFile:           5 * units.GB,
+		ClassShares:       [3]float64{0.20, 0.35, 0.45},
+	}
+}
+
+// All returns the three testbeds in the paper's presentation order.
+func All() []Testbed {
+	return []Testbed{XSEDE(), FutureGrid(), DIDCLAB()}
+}
+
+// Validate checks the whole environment for consistency.
+func (tb Testbed) Validate() error {
+	if err := tb.Path.Validate(); err != nil {
+		return err
+	}
+	if err := tb.Source.Validate(); err != nil {
+		return err
+	}
+	if err := tb.Dest.Validate(); err != nil {
+		return err
+	}
+	return tb.Power.Coeff.Validate()
+}

@@ -1,0 +1,120 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/units"
+)
+
+func TestAllTestbedsValid(t *testing.T) {
+	for _, tb := range All() {
+		if err := tb.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", tb.Name, err)
+		}
+	}
+}
+
+func TestPaperPathParameters(t *testing.T) {
+	xs := XSEDE()
+	if xs.Path.Bandwidth != 10*units.Gbps || xs.Path.RTT != 40*time.Millisecond ||
+		xs.Path.MaxTCPBuffer != 32*units.MB {
+		t.Errorf("XSEDE path wrong: %+v", xs.Path)
+	}
+	if xs.Path.BDP() != 50*units.MB {
+		t.Errorf("XSEDE BDP = %v, want 50MB", xs.Path.BDP())
+	}
+	if xs.ServersPerSite != 4 {
+		t.Errorf("XSEDE should have 4 transfer servers per site, got %d", xs.ServersPerSite)
+	}
+	if xs.Source.Cores != 4 {
+		t.Errorf("XSEDE servers are 4-core (Eq. 2's sweet spot), got %d", xs.Source.Cores)
+	}
+
+	fg := FutureGrid()
+	if fg.Path.Bandwidth != 1*units.Gbps || fg.Path.RTT != 28*time.Millisecond {
+		t.Errorf("FutureGrid path wrong: %+v", fg.Path)
+	}
+
+	lab := DIDCLAB()
+	if lab.Path.Bandwidth != 1*units.Gbps {
+		t.Errorf("DIDCLAB path wrong: %+v", lab.Path)
+	}
+	if lab.Source.Disk.Kind != endsys.SingleDisk {
+		t.Error("DIDCLAB workstations must have single disks (Fig. 4's premise)")
+	}
+	if lab.SLARefConcurrency != 1 {
+		t.Errorf("DIDCLAB SLA reference concurrency = %d, want 1", lab.SLARefConcurrency)
+	}
+}
+
+func TestDatasetsMatchPaperSizes(t *testing.T) {
+	for _, tb := range All() {
+		ds := tb.Dataset(1)
+		total := ds.TotalSize()
+		lo := units.Bytes(float64(tb.DatasetSize) * 0.99)
+		if total < lo || total > tb.DatasetSize {
+			t.Errorf("%s dataset = %v, want ≈%v", tb.Name, total, tb.DatasetSize)
+		}
+		if min := ds.MinSize(); min < tb.MinFile {
+			t.Errorf("%s has file below envelope: %v < %v", tb.Name, min, tb.MinFile)
+		}
+	}
+}
+
+func TestDatasetDeterministicPerSeed(t *testing.T) {
+	a := XSEDE().Dataset(9)
+	b := XSEDE().Dataset(9)
+	if a.Count() != b.Count() || a.TotalSize() != b.TotalSize() {
+		t.Error("dataset generation not deterministic")
+	}
+	c := XSEDE().Dataset(10)
+	if a.Count() == c.Count() && a.TotalSize() == c.TotalSize() && a.Files[0] == c.Files[0] {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestWANDatasetCoversAllClasses(t *testing.T) {
+	for _, tb := range []Testbed{XSEDE(), FutureGrid()} {
+		ds := tb.Dataset(2)
+		chunks := dataset.Partition(ds, tb.Path.BDP())
+		if len(chunks) != 3 {
+			t.Errorf("%s dataset spans %d classes, want 3", tb.Name, len(chunks))
+			continue
+		}
+		for _, c := range chunks {
+			share := float64(c.TotalSize()) / float64(ds.TotalSize())
+			if share < 0.05 {
+				t.Errorf("%s %v chunk holds only %.1f%% of bytes", tb.Name, c.Class, share*100)
+			}
+		}
+	}
+}
+
+func TestLANDatasetIsOneClassButFullSize(t *testing.T) {
+	tb := DIDCLAB()
+	ds := tb.Dataset(3)
+	if got := ds.TotalSize(); got < units.Bytes(float64(tb.DatasetSize)*0.99) {
+		t.Errorf("LAN dataset shrunk to %v (empty-class shares must roll over)", got)
+	}
+	chunks := dataset.Partition(ds, tb.Path.BDP())
+	if len(chunks) != 1 || chunks[0].Class != dataset.Large {
+		t.Errorf("LAN dataset should be a single Large chunk, got %d chunks", len(chunks))
+	}
+}
+
+func TestNetChainsMatchFig9(t *testing.T) {
+	// XSEDE: symmetric chain through Internet2; FutureGrid: two metro
+	// routers around the Internet2 core; DIDCLAB: one switch.
+	if n := len(XSEDE().NetChain); n != 8 {
+		t.Errorf("XSEDE chain has %d devices, want 8", n)
+	}
+	if n := len(FutureGrid().NetChain); n != 4 {
+		t.Errorf("FutureGrid chain has %d devices, want 4", n)
+	}
+	if n := len(DIDCLAB().NetChain); n != 1 {
+		t.Errorf("DIDCLAB chain has %d devices, want 1", n)
+	}
+}

@@ -1,0 +1,124 @@
+// Package trace persists transfer timelines — the five-second samples
+// every adaptive algorithm produces — as CSV or JSON Lines for offline
+// analysis and plotting.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+// csvHeader is the column layout of the CSV writer.
+var csvHeader = []string{
+	"start_s", "duration_s", "bytes", "throughput_mbps",
+	"endsystem_energy_j", "network_energy_j", "active_channels",
+}
+
+// WriteCSV writes a sample timeline as CSV with a header row.
+func WriteCSV(w io.Writer, samples []transfer.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		row := []string{
+			formatSeconds(s.Start),
+			formatSeconds(s.Duration),
+			strconv.FormatInt(int64(s.Bytes), 10),
+			strconv.FormatFloat(s.Throughput.Mbit(), 'f', 3, 64),
+			strconv.FormatFloat(float64(s.EndSystemEnergy), 'f', 3, 64),
+			strconv.FormatFloat(float64(s.NetworkEnergy), 'f', 3, 64),
+			strconv.Itoa(s.ActiveChannels),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
+}
+
+// jsonSample is the JSONL schema.
+type jsonSample struct {
+	StartSec        float64 `json:"start_s"`
+	DurationSec     float64 `json:"duration_s"`
+	Bytes           int64   `json:"bytes"`
+	ThroughputMbps  float64 `json:"throughput_mbps"`
+	EndSystemEnergy float64 `json:"endsystem_energy_j"`
+	NetworkEnergy   float64 `json:"network_energy_j"`
+	ActiveChannels  int     `json:"active_channels"`
+}
+
+// WriteJSONL writes one JSON object per sample.
+func WriteJSONL(w io.Writer, samples []transfer.Sample) error {
+	enc := json.NewEncoder(w)
+	for _, s := range samples {
+		rec := jsonSample{
+			StartSec:        s.Start.Seconds(),
+			DurationSec:     s.Duration.Seconds(),
+			Bytes:           int64(s.Bytes),
+			ThroughputMbps:  s.Throughput.Mbit(),
+			EndSystemEnergy: float64(s.EndSystemEnergy),
+			NetworkEnergy:   float64(s.NetworkEnergy),
+			ActiveChannels:  s.ActiveChannels,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a timeline written by WriteCSV.
+func ReadCSV(r io.Reader) ([]transfer.Sample, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	var samples []transfer.Sample
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("trace: row %d has %d columns", i+1, len(row))
+		}
+		start, err1 := strconv.ParseFloat(row[0], 64)
+		dur, err2 := strconv.ParseFloat(row[1], 64)
+		bytes, err3 := strconv.ParseInt(row[2], 10, 64)
+		thr, err4 := strconv.ParseFloat(row[3], 64)
+		es, err5 := strconv.ParseFloat(row[4], 64)
+		ne, err6 := strconv.ParseFloat(row[5], 64)
+		ac, err7 := strconv.Atoi(row[6])
+		for _, e := range []error{err1, err2, err3, err4, err5, err6, err7} {
+			if e != nil {
+				return nil, fmt.Errorf("trace: row %d: %w", i+1, e)
+			}
+		}
+		samples = append(samples, transfer.Sample{
+			Start:           time.Duration(start * float64(time.Second)),
+			Duration:        time.Duration(dur * float64(time.Second)),
+			Bytes:           units.Bytes(bytes),
+			Throughput:      units.Rate(thr * float64(units.Mbps)),
+			EndSystemEnergy: units.Joules(es),
+			NetworkEnergy:   units.Joules(ne),
+			ActiveChannels:  ac,
+		})
+	}
+	return samples, nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/didclab/eta/internal/transfer"
+	"github.com/didclab/eta/internal/units"
+)
+
+func sampleTimeline() []transfer.Sample {
+	return []transfer.Sample{
+		{
+			Start: 0, Duration: 5 * time.Second, Bytes: 100 * units.MB,
+			Throughput: 160 * units.Mbps, EndSystemEnergy: 42.5,
+			NetworkEnergy: 3.25, ActiveChannels: 2,
+		},
+		{
+			Start: 5 * time.Second, Duration: 5 * time.Second, Bytes: 250 * units.MB,
+			Throughput: 400 * units.Mbps, EndSystemEnergy: 55,
+			NetworkEnergy: 8, ActiveChannels: 6,
+		},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleTimeline()
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d samples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Start != in[i].Start || out[i].Duration != in[i].Duration {
+			t.Errorf("sample %d times differ: %+v vs %+v", i, out[i], in[i])
+		}
+		if out[i].Bytes != in[i].Bytes || out[i].ActiveChannels != in[i].ActiveChannels {
+			t.Errorf("sample %d payload differs", i)
+		}
+		if math.Abs(out[i].Throughput.Mbit()-in[i].Throughput.Mbit()) > 0.01 {
+			t.Errorf("sample %d throughput %v vs %v", i, out[i].Throughput, in[i].Throughput)
+		}
+		if math.Abs(float64(out[i].EndSystemEnergy-in[i].EndSystemEnergy)) > 0.01 {
+			t.Errorf("sample %d energy differs", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	bad := strings.Join(csvHeader, ",") + "\nx,1,1,1,1,1,1\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("unparseable row accepted")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"throughput_mbps"`) || !strings.HasPrefix(line, "{") {
+			t.Errorf("malformed JSONL line: %s", line)
+		}
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty timeline round trip: %v, %v", out, err)
+	}
+}

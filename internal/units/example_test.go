@@ -1,0 +1,34 @@
+package units_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/didclab/eta/internal/units"
+)
+
+func ExampleBDP() {
+	// The paper's XSEDE path: 10 Gbps at 40 ms RTT.
+	bdp := units.BDP(10*units.Gbps, 40*time.Millisecond)
+	fmt.Println(bdp)
+	// Output: 50.00MB
+}
+
+func ExampleRateOf() {
+	// 160 GB moved in 200 seconds.
+	rate := units.RateOf(160*units.GB, 200*time.Second)
+	fmt.Println(rate)
+	// Output: 6.40Gbps
+}
+
+func ExampleEnergy() {
+	// 120 W held for 90 seconds.
+	fmt.Println(units.Energy(120, 90*time.Second))
+	// Output: 10.80kJ
+}
+
+func ExampleCeilDiv() {
+	// The paper's parallelism formula on XSEDE: ⌈BDP/bufSize⌉.
+	fmt.Println(units.CeilDiv(50*units.MB, 32*units.MB))
+	// Output: 2
+}

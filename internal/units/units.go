@@ -1,0 +1,182 @@
+// Package units defines the physical quantities used throughout the
+// energy-aware transfer library: byte counts, data rates, power and
+// energy. Keeping them as distinct types prevents the classic
+// bits-vs-bytes and joules-vs-watts mixups that plague transfer tools.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bytes is a byte count. It is signed so that arithmetic on deficits
+// (bytes remaining, bytes overdrawn) stays natural.
+type Bytes int64
+
+// Byte size constants. Decimal units (KB, MB, GB, TB) follow network and
+// storage vendor convention; binary units (KiB, MiB, GiB) follow memory
+// convention. The paper's dataset sizes (3 MB – 20 GB files) are decimal.
+const (
+	KB Bytes = 1000
+	MB Bytes = 1000 * KB
+	GB Bytes = 1000 * MB
+	TB Bytes = 1000 * GB
+
+	KiB Bytes = 1024
+	MiB Bytes = 1024 * KiB
+	GiB Bytes = 1024 * MiB
+)
+
+// String formats a byte count with a human-friendly decimal suffix.
+func (b Bytes) String() string {
+	switch {
+	case b >= TB || b <= -TB:
+		return fmt.Sprintf("%.2fTB", float64(b)/float64(TB))
+	case b >= GB || b <= -GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB || b <= -MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB || b <= -KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// Bits returns the number of bits in b.
+func (b Bytes) Bits() float64 { return float64(b) * 8 }
+
+// Rate is a data rate in bits per second, the unit the paper's figures
+// use (Mbps on every throughput axis).
+type Rate float64
+
+// Data rate constants.
+const (
+	Bps  Rate = 1
+	Kbps Rate = 1e3
+	Mbps Rate = 1e6
+	Gbps Rate = 1e9
+)
+
+// String formats a rate with an adaptive suffix.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps || r <= -Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r/Gbps))
+	case r >= Mbps || r <= -Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r/Mbps))
+	case r >= Kbps || r <= -Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r/Kbps))
+	default:
+		return fmt.Sprintf("%.2fbps", float64(r))
+	}
+}
+
+// Mbit returns the rate expressed in megabits per second.
+func (r Rate) Mbit() float64 { return float64(r / Mbps) }
+
+// BytesIn returns how many bytes flow at rate r during d. Fractional
+// bytes are truncated; callers integrating over many ticks should use
+// BytesInF and accumulate in float64.
+func (r Rate) BytesIn(d time.Duration) Bytes {
+	return Bytes(r.BytesInF(d))
+}
+
+// BytesInF is BytesIn without truncation.
+func (r Rate) BytesInF(d time.Duration) float64 {
+	return float64(r) / 8 * d.Seconds()
+}
+
+// RateOf returns the average rate at which b bytes move in d.
+// It returns 0 for non-positive durations.
+func RateOf(b Bytes, d time.Duration) Rate {
+	if d <= 0 {
+		return 0
+	}
+	return Rate(b.Bits() / d.Seconds())
+}
+
+// Watts is instantaneous power.
+type Watts float64
+
+// String formats power in watts.
+func (w Watts) String() string { return fmt.Sprintf("%.2fW", float64(w)) }
+
+// Joules is energy. The paper's energy axes are joules.
+type Joules float64
+
+// String formats energy with an adaptive suffix.
+func (j Joules) String() string {
+	switch {
+	case j >= 1e6 || j <= -1e6:
+		return fmt.Sprintf("%.2fMJ", float64(j)/1e6)
+	case j >= 1e3 || j <= -1e3:
+		return fmt.Sprintf("%.2fkJ", float64(j)/1e3)
+	default:
+		return fmt.Sprintf("%.2fJ", float64(j))
+	}
+}
+
+// Energy returns the energy spent drawing power w for duration d.
+func Energy(w Watts, d time.Duration) Joules {
+	return Joules(float64(w) * d.Seconds())
+}
+
+// Power returns the average power that spends j joules over d.
+// It returns 0 for non-positive durations.
+func Power(j Joules, d time.Duration) Watts {
+	if d <= 0 {
+		return 0
+	}
+	return Watts(float64(j) / d.Seconds())
+}
+
+// BDP returns the bandwidth-delay product of a path: the amount of data
+// in flight when a single stream fully occupies the link. The paper's
+// partitioning, pipelining and parallelism formulas are all stated in
+// terms of BDP (Algorithms 1–3, line "BDP = BW * RTT").
+func BDP(bw Rate, rtt time.Duration) Bytes {
+	return bw.BytesIn(rtt)
+}
+
+// CeilDiv returns ceil(a/b) for positive byte counts, the ⌈x⌉ operation
+// used throughout the paper's parameter formulas. b must be positive.
+func CeilDiv(a, b Bytes) int {
+	if b <= 0 {
+		panic("units: CeilDiv by non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return int((a + b - 1) / b)
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampF bounds v to [lo, hi].
+func ClampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// KWh converts energy to kilowatt-hours.
+func (j Joules) KWh() float64 { return float64(j) / 3.6e6 }
+
+// CostUSD prices energy at the given $/kWh tariff — the unit the
+// paper's motivation speaks in ("around 90 billion U.S. Dollars per
+// year" for the world's transfer energy).
+func (j Joules) CostUSD(perKWh float64) float64 { return j.KWh() * perKWh }

@@ -1,0 +1,174 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{999, "999B"},
+		{KB, "1.00KB"},
+		{3 * MB, "3.00MB"},
+		{20 * GB, "20.00GB"},
+		{2 * TB, "2.00TB"},
+		{-5 * MB, "-5.00MB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		in   Rate
+		want string
+	}{
+		{10 * Gbps, "10.00Gbps"},
+		{750 * Mbps, "750.00Mbps"},
+		{12 * Kbps, "12.00Kbps"},
+		{512, "512.00bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Rate.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	if got := Joules(21000).String(); got != "21.00kJ" {
+		t.Errorf("got %q", got)
+	}
+	if got := Joules(4.2e6).String(); got != "4.20MJ" {
+		t.Errorf("got %q", got)
+	}
+	if got := Joules(17).String(); got != "17.00J" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBDPMatchesPaperTestbeds(t *testing.T) {
+	// XSEDE: 10 Gbps × 40 ms = 50 MB.
+	if got := BDP(10*Gbps, 40*time.Millisecond); got != 50*MB {
+		t.Errorf("XSEDE BDP = %v, want 50MB", got)
+	}
+	// FutureGrid: 1 Gbps × 28 ms = 3.5 MB.
+	if got := BDP(1*Gbps, 28*time.Millisecond); got != 3500*KB {
+		t.Errorf("FutureGrid BDP = %v, want 3.5MB", got)
+	}
+}
+
+func TestRateBytesRoundTrip(t *testing.T) {
+	f := func(mbps uint16, ms uint16) bool {
+		r := Rate(mbps) * Mbps
+		d := time.Duration(ms) * time.Millisecond
+		b := r.BytesIn(d)
+		if d == 0 {
+			return b == 0
+		}
+		back := RateOf(b, d)
+		// Truncation to whole bytes loses at most 8 bits per duration.
+		return math.Abs(float64(back-r)) <= 8/d.Seconds()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyPowerRoundTrip(t *testing.T) {
+	f := func(wRaw uint16, ms uint16) bool {
+		w := Watts(wRaw)
+		d := time.Duration(ms) * time.Millisecond
+		j := Energy(w, d)
+		if d == 0 {
+			return j == 0 && Power(j, d) == 0
+		}
+		back := Power(j, d)
+		return math.Abs(float64(back-w)) < 1e-9*math.Max(1, float64(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b Bytes
+		want int
+	}{
+		{0, 10, 0},
+		{-5, 10, 0},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{50 * MB, 32 * MB, 2}, // paper's XSEDE parallelism: ceil(BDP/buf) = 2
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv(1, 0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a uint32, b uint16) bool {
+		if b == 0 {
+			return true
+		}
+		q := CeilDiv(Bytes(a), Bytes(b))
+		lo := Bytes(q-1) * Bytes(b)
+		hi := Bytes(q) * Bytes(b)
+		return hi >= Bytes(a) && (a == 0 || lo < Bytes(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 1, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 1, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+	if ClampF(1.5, 0, 1) != 1 || ClampF(-0.5, 0, 1) != 0 || ClampF(0.25, 0, 1) != 0.25 {
+		t.Error("ClampF misbehaves")
+	}
+}
+
+func TestBytesInFAccumulates(t *testing.T) {
+	// Integrating 1 Gbps over 10×100ms ticks must equal 1 second exactly.
+	var total float64
+	for i := 0; i < 10; i++ {
+		total += (1 * Gbps).BytesInF(100 * time.Millisecond)
+	}
+	if want := 125e6; math.Abs(total-want) > 1 {
+		t.Errorf("accumulated %v bytes, want %v", total, want)
+	}
+}
+
+func TestKWhAndCost(t *testing.T) {
+	j := Joules(3.6e6) // exactly 1 kWh
+	if j.KWh() != 1 {
+		t.Errorf("KWh = %v, want 1", j.KWh())
+	}
+	if got := j.CostUSD(0.12); math.Abs(got-0.12) > 1e-12 {
+		t.Errorf("CostUSD = %v, want 0.12", got)
+	}
+}
