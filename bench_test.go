@@ -56,6 +56,19 @@ func BenchmarkFig2XSEDE(b *testing.B)      { benchSweep(b, testbed.XSEDE()) }
 func BenchmarkFig3FutureGrid(b *testing.B) { benchSweep(b, testbed.FutureGrid()) }
 func BenchmarkFig4DIDCLAB(b *testing.B)    { benchSweep(b, testbed.DIDCLAB()) }
 
+// BenchmarkSweepXSEDESerial is the one-worker baseline for the
+// parallel experiment engine: compare against BenchmarkFig2XSEDE
+// (which runs the same sweep at GOMAXPROCS workers) to measure the
+// fan-out speedup on this machine.
+func BenchmarkSweepXSEDESerial(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweepSerial(ctx, testbed.XSEDE(), experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchSLA(b *testing.B, tb testbed.Testbed) {
 	b.Helper()
 	ctx := context.Background()
@@ -95,13 +108,10 @@ func BenchmarkFig10EnergySplit(b *testing.B) {
 	ctx := context.Background()
 	var splits []experiments.EnergySplit
 	for i := 0; i < b.N; i++ {
-		splits = splits[:0]
-		for _, tb := range testbed.All() {
-			s, err := experiments.RunEnergySplit(ctx, tb, experiments.DefaultSeed)
-			if err != nil {
-				b.Fatal(err)
-			}
-			splits = append(splits, s)
+		var err error
+		splits, err = experiments.RunEnergySplits(ctx, testbed.All(), experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 	for _, s := range splits {
@@ -174,7 +184,8 @@ func BenchmarkSynthFill(b *testing.B) {
 
 func BenchmarkProtoLoopback(b *testing.B) {
 	// Real-TCP end-to-end throughput on loopback: 64 MB per iteration
-	// across 4 striped streams.
+	// across 4 striped streams, re-dialing the channel every iteration
+	// (connection setup included).
 	ds := dataset.NewGenerator(1).Uniform(16, 4*units.MB)
 	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
 	if err != nil {
@@ -182,6 +193,7 @@ func BenchmarkProtoLoopback(b *testing.B) {
 	}
 	defer srv.Close()
 	b.SetBytes(int64(ds.TotalSize()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		client := &proto.Client{Addr: srv.Addr()}
@@ -193,6 +205,33 @@ func BenchmarkProtoLoopback(b *testing.B) {
 			b.Fatal(err)
 		}
 		ch.Close()
+	}
+}
+
+// BenchmarkProtoLoopbackSteady reuses one channel across iterations —
+// the steady state the block-buffer pool targets. Run with -benchmem:
+// allocs/op here is the per-64MB-transfer allocation cost with dialing
+// excluded, so the zero-alloc data path is directly visible.
+func BenchmarkProtoLoopbackSteady(b *testing.B) {
+	ds := dataset.NewGenerator(1).Uniform(16, 4*units.MB)
+	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := &proto.Client{Addr: srv.Addr()}
+	ch, err := client.OpenChannel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ch.Close()
+	b.SetBytes(int64(ds.TotalSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Fetch(ds.Files, 4, discardSink{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -199,7 +199,10 @@ func run(o options) error {
 		report, err = core.ProMC(ctx, exec, ds, o.maxChannels)
 	case "bf":
 		var res core.BFResult
-		res, err = core.BF(ctx, exec, ds, o.maxChannels)
+		// One shared executor over one real link: probe the levels
+		// serially so they do not distort each other's measurements.
+		res, err = core.BFWith(ctx, func() transfer.Executor { return exec },
+			ds, o.maxChannels, core.BFOptions{Workers: 1})
 		if err == nil {
 			log.Printf("brute force best concurrency: %d", res.Best)
 			report = res.BestReport()

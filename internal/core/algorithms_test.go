@@ -159,7 +159,8 @@ func TestSLAEEValidation(t *testing.T) {
 func TestBFFindsBestRatio(t *testing.T) {
 	tb, sim := labData()
 	ds := tb.Dataset(7)
-	res, err := BF(context.Background(), sim, ds, 4)
+	mk := func() transfer.Executor { return sim }
+	res, err := BF(context.Background(), mk, ds, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestBFFindsBestRatio(t *testing.T) {
 	if res.Best != 1 {
 		t.Errorf("BF best = %d on the LAN, want 1", res.Best)
 	}
-	if _, err := BF(context.Background(), sim, ds, 0); err == nil {
+	if _, err := BF(context.Background(), mk, ds, 0); err == nil {
 		t.Error("BF accepted maxChannel 0")
 	}
 }

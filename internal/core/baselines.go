@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
 )
@@ -221,23 +222,49 @@ type BFResult struct {
 // BestReport returns the winning run's report.
 func (r BFResult) BestReport() transfer.Report { return r.Reports[r.Best] }
 
+// BFOptions configure the brute-force search.
+type BFOptions struct {
+	// Workers bounds how many concurrency levels are evaluated at
+	// once; values < 1 mean GOMAXPROCS. Use 1 when the executor drives
+	// a real link, where concurrent probes would distort each other's
+	// measurements.
+	Workers int
+}
+
 // BF is the brute-force reference (§3): "a revised version of the HTEE
 // algorithm in a way that it skips the search phase and runs the
 // transfer with pre-defined concurrency levels", repeated for every
 // level 1..maxChannel; the best throughput/energy ratio found is the
 // ideal HTEE is scored against.
-func BF(ctx context.Context, exec transfer.Executor, ds dataset.Dataset, maxChannel int) (BFResult, error) {
+//
+// Every level is an independent run on a fresh executor from mk, so
+// the levels are evaluated concurrently; results are assembled by
+// level, which keeps the outcome identical to a serial sweep.
+func BF(ctx context.Context, mk func() transfer.Executor, ds dataset.Dataset, maxChannel int) (BFResult, error) {
+	return BFWith(ctx, mk, ds, maxChannel, BFOptions{})
+}
+
+// BFWith is BF with search options.
+func BFWith(ctx context.Context, mk func() transfer.Executor, ds dataset.Dataset, maxChannel int, opts BFOptions) (BFResult, error) {
 	if maxChannel < 1 {
 		return BFResult{}, fmt.Errorf("core: BF maxChannel %d < 1", maxChannel)
 	}
-	result := BFResult{Reports: make(map[int]transfer.Report, maxChannel)}
-	bestEff := -1.0
-	for c := 1; c <= maxChannel; c++ {
-		r, err := ProMC(ctx, exec, ds, c)
+	reports, err := sched.Map(ctx, opts.Workers, maxChannel, func(ctx context.Context, i int) (transfer.Report, error) {
+		c := i + 1
+		r, err := ProMC(ctx, mk(), ds, c)
 		if err != nil {
-			return BFResult{}, fmt.Errorf("core: BF at concurrency %d: %w", c, err)
+			return transfer.Report{}, fmt.Errorf("core: BF at concurrency %d: %w", c, err)
 		}
 		r.Algorithm = NameBF
+		return r, nil
+	})
+	if err != nil {
+		return BFResult{}, err
+	}
+	result := BFResult{Reports: make(map[int]transfer.Report, maxChannel)}
+	bestEff := -1.0
+	for i, r := range reports {
+		c := i + 1
 		result.Reports[c] = r
 		if eff := r.Efficiency(); eff > bestEff {
 			bestEff = eff

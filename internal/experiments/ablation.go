@@ -7,6 +7,7 @@ import (
 
 	"github.com/didclab/eta/internal/core"
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/testbed"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
@@ -57,100 +58,111 @@ func RunAblations(ctx context.Context, tb testbed.Testbed, seed int64) ([]Ablati
 	ds := tb.Dataset(seed)
 	conc := tb.MaxConcurrency
 	sim := func() transfer.Executor { return transfer.NewSim(tb) }
-	var out []Ablation
 
-	// 1. MinE large-chunk pinning, on a bimodal workload whose tail is
-	// the Large chunk (on the standard dataset the Medium chunk is the
-	// straggler either way, which would mask the choice under test).
-	g := dataset.NewGenerator(seed)
-	bimodal := dataset.Dataset{}
-	bimodal.Files = append(bimodal.Files, g.ManySmall(800, 3*units.MB, 30*units.MB).Files...)
-	largePart := g.Mixed(units.Bytes(float64(tb.DatasetSize)*0.6), 20*tb.Path.BDP(), tb.MaxFile)
-	for i := range largePart.Files {
-		largePart.Files[i].Name = "large/" + largePart.Files[i].Name
-	}
-	bimodal.Files = append(bimodal.Files, largePart.Files...)
+	// Each ablation builds its own workload and runs its own sims, so
+	// the four variants fan out on the worker pool; the result slice is
+	// indexed by ablation so the table order never depends on timing.
+	builders := []func(ctx context.Context) (Ablation, error){
+		// 1. MinE large-chunk pinning, on a bimodal workload whose tail
+		// is the Large chunk (on the standard dataset the Medium chunk
+		// is the straggler either way, which would mask the choice
+		// under test).
+		func(ctx context.Context) (Ablation, error) {
+			g := dataset.NewGenerator(seed)
+			bimodal := dataset.Dataset{}
+			bimodal.Files = append(bimodal.Files, g.ManySmall(800, 3*units.MB, 30*units.MB).Files...)
+			largePart := g.Mixed(units.Bytes(float64(tb.DatasetSize)*0.6), 20*tb.Path.BDP(), tb.MaxFile)
+			for i := range largePart.Files {
+				largePart.Files[i].Name = "large/" + largePart.Files[i].Name
+			}
+			bimodal.Files = append(bimodal.Files, largePart.Files...)
 
-	pinned, err := core.MinE(ctx, sim(), bimodal, conc)
-	if err != nil {
-		return nil, fmt.Errorf("MinE baseline: %w", err)
+			pinned, err := core.MinE(ctx, sim(), bimodal, conc)
+			if err != nil {
+				return Ablation{}, fmt.Errorf("MinE baseline: %w", err)
+			}
+			unpinned, err := core.MinEWith(ctx, sim(), bimodal, conc, core.MinEOptions{UnpinLargeChunks: true})
+			if err != nil {
+				return Ablation{}, fmt.Errorf("MinE unpinned: %w", err)
+			}
+			return Ablation{
+				Name:     "MinE-unpin-large",
+				Choice:   "MinE pins Large chunks to one channel",
+				Baseline: pinned,
+				Variant:  unpinned,
+				Extra:    "bimodal small+large workload",
+			}, nil
+		},
+		// 2. Pipelining under ProMC, on the workload pipelining exists
+		// for: thousands of files each well below the BDP (§2.1).
+		func(ctx context.Context) (Ablation, error) {
+			smallHeavy := dataset.NewGenerator(seed+1).ManySmall(4000,
+				maxBytes(tb.MinFile, tb.Path.BDP()/16), maxBytes(2*tb.MinFile, tb.Path.BDP()/8))
+			piped, err := core.ProMC(ctx, sim(), smallHeavy, conc)
+			if err != nil {
+				return Ablation{}, fmt.Errorf("ProMC baseline: %w", err)
+			}
+			unpiped, err := core.ProMCWith(ctx, sim(), smallHeavy, conc, core.ProMCOptions{PipeliningOverride: 1})
+			if err != nil {
+				return Ablation{}, fmt.Errorf("ProMC unpipelined: %w", err)
+			}
+			return Ablation{
+				Name:     "ProMC-no-pipelining",
+				Choice:   "pipelining = ⌈BDP/avgFileSize⌉ per chunk",
+				Baseline: piped,
+				Variant:  unpiped,
+				Extra:    fmt.Sprintf("%d files ≪ BDP", smallHeavy.Count()),
+			}, nil
+		},
+		// 3. HTEE search stride.
+		func(ctx context.Context) (Ablation, error) {
+			var strideReports []string
+			base, err := core.HTEE(ctx, sim(), ds, conc)
+			if err != nil {
+				return Ablation{}, fmt.Errorf("HTEE baseline: %w", err)
+			}
+			var stride4 core.HTEEResult
+			for _, stride := range []int{1, 4} {
+				r, err := core.HTEEWith(ctx, sim(), ds, conc, core.HTEEOptions{SearchStride: stride})
+				if err != nil {
+					return Ablation{}, fmt.Errorf("HTEE stride %d: %w", stride, err)
+				}
+				strideReports = append(strideReports,
+					fmt.Sprintf("stride %d: %d probes, chose cc=%d", stride, len(r.SearchEfficiency), r.ChosenConcurrency))
+				if stride == 4 {
+					stride4 = r
+				}
+			}
+			return Ablation{
+				Name:     "HTEE-search-stride",
+				Choice:   "HTEE probes every second concurrency level",
+				Baseline: base.Report,
+				Variant:  stride4.Report,
+				Extra: fmt.Sprintf("stride 2 (paper): %d probes, chose cc=%d; %s",
+					len(base.SearchEfficiency), base.ChosenConcurrency, strings.Join(strideReports, "; ")),
+			}, nil
+		},
+		// 4. GO channel spreading.
+		func(ctx context.Context) (Ablation, error) {
+			spread, err := core.GO(ctx, sim(), ds)
+			if err != nil {
+				return Ablation{}, fmt.Errorf("GO baseline: %w", err)
+			}
+			packed, err := core.GOWith(ctx, sim(), ds, core.GOOptions{PackSingleServer: true})
+			if err != nil {
+				return Ablation{}, fmt.Errorf("GO packed: %w", err)
+			}
+			return Ablation{
+				Name:     "GO-pack-single-server",
+				Choice:   "GO spreads channels across the site's server pool",
+				Baseline: spread,
+				Variant:  packed,
+			}, nil
+		},
 	}
-	unpinned, err := core.MinEWith(ctx, sim(), bimodal, conc, core.MinEOptions{UnpinLargeChunks: true})
-	if err != nil {
-		return nil, fmt.Errorf("MinE unpinned: %w", err)
-	}
-	out = append(out, Ablation{
-		Name:     "MinE-unpin-large",
-		Choice:   "MinE pins Large chunks to one channel",
-		Baseline: pinned,
-		Variant:  unpinned,
-		Extra:    "bimodal small+large workload",
+	return sched.Map(ctx, 0, len(builders), func(ctx context.Context, i int) (Ablation, error) {
+		return builders[i](ctx)
 	})
-
-	// 2. Pipelining under ProMC, on the workload pipelining exists for:
-	// thousands of files each well below the BDP (§2.1).
-	smallHeavy := dataset.NewGenerator(seed+1).ManySmall(4000,
-		maxBytes(tb.MinFile, tb.Path.BDP()/16), maxBytes(2*tb.MinFile, tb.Path.BDP()/8))
-	piped, err := core.ProMC(ctx, sim(), smallHeavy, conc)
-	if err != nil {
-		return nil, fmt.Errorf("ProMC baseline: %w", err)
-	}
-	unpiped, err := core.ProMCWith(ctx, sim(), smallHeavy, conc, core.ProMCOptions{PipeliningOverride: 1})
-	if err != nil {
-		return nil, fmt.Errorf("ProMC unpipelined: %w", err)
-	}
-	out = append(out, Ablation{
-		Name:     "ProMC-no-pipelining",
-		Choice:   "pipelining = ⌈BDP/avgFileSize⌉ per chunk",
-		Baseline: piped,
-		Variant:  unpiped,
-		Extra:    fmt.Sprintf("%d files ≪ BDP", smallHeavy.Count()),
-	})
-
-	// 3. HTEE search stride.
-	var strideReports []string
-	base, err := core.HTEE(ctx, sim(), ds, conc)
-	if err != nil {
-		return nil, fmt.Errorf("HTEE baseline: %w", err)
-	}
-	var stride4 core.HTEEResult
-	for _, stride := range []int{1, 4} {
-		r, err := core.HTEEWith(ctx, sim(), ds, conc, core.HTEEOptions{SearchStride: stride})
-		if err != nil {
-			return nil, fmt.Errorf("HTEE stride %d: %w", stride, err)
-		}
-		strideReports = append(strideReports,
-			fmt.Sprintf("stride %d: %d probes, chose cc=%d", stride, len(r.SearchEfficiency), r.ChosenConcurrency))
-		if stride == 4 {
-			stride4 = r
-		}
-	}
-	out = append(out, Ablation{
-		Name:     "HTEE-search-stride",
-		Choice:   "HTEE probes every second concurrency level",
-		Baseline: base.Report,
-		Variant:  stride4.Report,
-		Extra: fmt.Sprintf("stride 2 (paper): %d probes, chose cc=%d; %s",
-			len(base.SearchEfficiency), base.ChosenConcurrency, strings.Join(strideReports, "; ")),
-	})
-
-	// 4. GO channel spreading.
-	spread, err := core.GO(ctx, sim(), ds)
-	if err != nil {
-		return nil, fmt.Errorf("GO baseline: %w", err)
-	}
-	packed, err := core.GOWith(ctx, sim(), ds, core.GOOptions{PackSingleServer: true})
-	if err != nil {
-		return nil, fmt.Errorf("GO packed: %w", err)
-	}
-	out = append(out, Ablation{
-		Name:     "GO-pack-single-server",
-		Choice:   "GO spreads channels across the site's server pool",
-		Baseline: spread,
-		Variant:  packed,
-	})
-
-	return out, nil
 }
 
 func maxBytes(a, b units.Bytes) units.Bytes {

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/testbed"
+	"github.com/didclab/eta/internal/transfer"
+)
+
+// The parallel experiment engine must be invisible in the results:
+// every cell is an independent simulation with a fixed seed, and the
+// pool assembles cells by index, so a parallel run has to be deep-equal
+// to the plain serial loops the seed implementation ran. The references
+// below ARE those serial loops, kept verbatim.
+
+// serialSweepReference replicates the pre-engine RunSweep: one cell at
+// a time, in level order, with a serial brute-force loop.
+func serialSweepReference(ctx context.Context, tb testbed.Testbed, seed int64) (*Sweep, error) {
+	ds := tb.Dataset(seed)
+	s := &Sweep{
+		Testbed: tb.Name,
+		Levels:  append([]int(nil), SweepLevels...),
+		Reports: make(map[string]map[int]transfer.Report),
+		HTEE:    make(map[int]core.HTEEResult),
+	}
+	put := func(algo string, level int, r transfer.Report) {
+		if s.Reports[algo] == nil {
+			s.Reports[algo] = make(map[int]transfer.Report)
+		}
+		s.Reports[algo][level] = r
+	}
+	sim := func() transfer.Executor { return transfer.NewSim(tb) }
+
+	guc, err := core.GUC(ctx, sim(), ds, core.GUCOptions{})
+	if err != nil {
+		return nil, err
+	}
+	gor, err := core.GO(ctx, sim(), ds)
+	if err != nil {
+		return nil, err
+	}
+	for _, level := range s.Levels {
+		put(core.NameGUC, level, guc)
+		put(core.NameGO, level, gor)
+		sc, err := core.SC(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, err
+		}
+		put(core.NameSC, level, sc)
+		mine, err := core.MinE(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, err
+		}
+		put(core.NameMinE, level, mine)
+		promc, err := core.ProMC(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, err
+		}
+		put(core.NameProMC, level, promc)
+		htee, err := core.HTEE(ctx, sim(), ds, level)
+		if err != nil {
+			return nil, err
+		}
+		put(core.NameHTEE, level, htee.Report)
+		s.HTEE[level] = htee
+	}
+	bf, err := serialBFReference(ctx, sim, ds, tb.BFMaxConcurrency)
+	if err != nil {
+		return nil, err
+	}
+	s.BF = bf
+	return s, nil
+}
+
+// serialBFReference replicates the pre-engine core.BF loop: one
+// concurrency level at a time, best ratio tracked as it goes.
+func serialBFReference(ctx context.Context, mk func() transfer.Executor, ds dataset.Dataset, maxChannel int) (core.BFResult, error) {
+	result := core.BFResult{Reports: make(map[int]transfer.Report, maxChannel)}
+	bestEff := -1.0
+	for c := 1; c <= maxChannel; c++ {
+		r, err := core.ProMC(ctx, mk(), ds, c)
+		if err != nil {
+			return core.BFResult{}, err
+		}
+		r.Algorithm = core.NameBF
+		result.Reports[c] = r
+		if eff := r.Efficiency(); eff > bestEff {
+			bestEff = eff
+			result.Best = c
+		}
+	}
+	return result, nil
+}
+
+func TestRunSweepDeterminism(t *testing.T) {
+	ctx := context.Background()
+	for _, tb := range testbed.All() {
+		tb := tb
+		t.Run(tb.Name, func(t *testing.T) {
+			want, err := serialSweepReference(ctx, tb, DefaultSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunSweep(ctx, tb, DefaultSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatal(diffSweeps(want, got))
+			}
+		})
+	}
+}
+
+func TestRunSLADeterminism(t *testing.T) {
+	ctx := context.Background()
+	for _, tb := range testbed.All() {
+		tb := tb
+		t.Run(tb.Name, func(t *testing.T) {
+			// Serial reference: the pre-engine target loop.
+			ds := tb.Dataset(DefaultSeed)
+			ref, err := core.ProMC(ctx, transfer.NewSim(tb), ds, tb.SLARefConcurrency)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := &SLASweep{
+				Testbed:       tb.Name,
+				Reference:     ref,
+				MaxThroughput: ref.Throughput,
+				Targets:       append([]float64(nil), SLATargets...),
+				Results:       make(map[float64]core.SLAResult),
+			}
+			for _, target := range want.Targets {
+				res, err := core.SLAEE(ctx, transfer.NewSim(tb), ds, ref.Throughput, target, tb.MaxConcurrency)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want.Results[target] = res
+			}
+
+			got, err := RunSLA(ctx, tb, DefaultSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("parallel RunSLA diverged from serial reference on %s", tb.Name)
+			}
+		})
+	}
+}
+
+// diffSweeps pins down the first diverging cell for a useful failure
+// message.
+func diffSweeps(want, got *Sweep) string {
+	for algo, levels := range want.Reports {
+		for level, w := range levels {
+			g := got.Reports[algo][level]
+			if !reflect.DeepEqual(w, g) {
+				return fmt.Sprintf("cell %s@%d diverged:\nserial  %+v\nparallel %+v", algo, level, w, g)
+			}
+		}
+	}
+	if !reflect.DeepEqual(want.HTEE, got.HTEE) {
+		return "HTEE search results diverged"
+	}
+	if !reflect.DeepEqual(want.BF, got.BF) {
+		return fmt.Sprintf("BF diverged: serial best %d, parallel best %d", want.BF.Best, got.BF.Best)
+	}
+	return "sweeps diverged outside the report cells"
+}

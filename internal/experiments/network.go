@@ -6,6 +6,7 @@ import (
 
 	"github.com/didclab/eta/internal/core"
 	"github.com/didclab/eta/internal/netpower"
+	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/testbed"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
@@ -75,4 +76,12 @@ func RunEnergySplit(ctx context.Context, tb testbed.Testbed, seed int64) (Energy
 		}
 	}
 	return split, nil
+}
+
+// RunEnergySplits runs RunEnergySplit on every testbed concurrently,
+// returning the splits in testbed order.
+func RunEnergySplits(ctx context.Context, beds []testbed.Testbed, seed int64) ([]EnergySplit, error) {
+	return sched.Map(ctx, 0, len(beds), func(ctx context.Context, i int) (EnergySplit, error) {
+		return RunEnergySplit(ctx, beds[i], seed)
+	})
 }

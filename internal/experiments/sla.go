@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/testbed"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
@@ -30,6 +31,10 @@ type SLASweep struct {
 }
 
 // RunSLA executes the full Fig. 5/6/7 experiment on tb.
+//
+// The reference ProMC run is an input to every target cell, so it runs
+// first; the SLA targets themselves are independent and fan out on the
+// worker pool, assembled by target index.
 func RunSLA(ctx context.Context, tb testbed.Testbed, seed int64) (*SLASweep, error) {
 	ds := tb.Dataset(seed)
 	ref, err := core.ProMC(ctx, transfer.NewSim(tb), ds, tb.SLARefConcurrency)
@@ -43,12 +48,19 @@ func RunSLA(ctx context.Context, tb testbed.Testbed, seed int64) (*SLASweep, err
 		Targets:       append([]float64(nil), SLATargets...),
 		Results:       make(map[float64]core.SLAResult),
 	}
-	for _, target := range sweep.Targets {
+	results, err := sched.Map(ctx, 0, len(sweep.Targets), func(ctx context.Context, i int) (core.SLAResult, error) {
+		target := sweep.Targets[i]
 		res, err := core.SLAEE(ctx, transfer.NewSim(tb), ds, ref.Throughput, target, tb.MaxConcurrency)
 		if err != nil {
-			return nil, fmt.Errorf("SLAEE@%.0f%%: %w", target*100, err)
+			return core.SLAResult{}, fmt.Errorf("SLAEE@%.0f%%: %w", target*100, err)
 		}
-		sweep.Results[target] = res
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, target := range sweep.Targets {
+		sweep.Results[target] = results[i]
 	}
 	return sweep, nil
 }

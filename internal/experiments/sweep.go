@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/didclab/eta/internal/core"
+	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/testbed"
 	"github.com/didclab/eta/internal/transfer"
 )
@@ -38,7 +39,23 @@ type Sweep struct {
 }
 
 // RunSweep executes the full Fig. 2/3/4 experiment on tb.
+//
+// Every (algorithm × level) cell is an independent simulation with its
+// own transfer.NewSim, so the cells are fanned out on a bounded worker
+// pool. Each worker writes into a pre-indexed slot keyed by its cell —
+// never appending in completion order — which keeps the result
+// bit-identical to a serial run (asserted by TestRunSweepDeterminism).
 func RunSweep(ctx context.Context, tb testbed.Testbed, seed int64) (*Sweep, error) {
+	return runSweepWorkers(ctx, tb, seed, 0)
+}
+
+// RunSweepSerial is RunSweep constrained to one worker — the serial
+// baseline the engine's speedup is benchmarked against.
+func RunSweepSerial(ctx context.Context, tb testbed.Testbed, seed int64) (*Sweep, error) {
+	return runSweepWorkers(ctx, tb, seed, 1)
+}
+
+func runSweepWorkers(ctx context.Context, tb testbed.Testbed, seed int64, workers int) (*Sweep, error) {
 	ds := tb.Dataset(seed)
 	s := &Sweep{
 		Testbed: tb.Name,
@@ -46,55 +63,96 @@ func RunSweep(ctx context.Context, tb testbed.Testbed, seed int64) (*Sweep, erro
 		Reports: make(map[string]map[int]transfer.Report),
 		HTEE:    make(map[int]core.HTEEResult),
 	}
+	sim := func() transfer.Executor { return transfer.NewSim(tb) }
+
+	// Per-cell result slots, indexed by level position. GUC, GO and BF
+	// each run once; the per-level algorithms get one slot per level.
+	var guc, gor transfer.Report
+	var bf core.BFResult
+	scs := make([]transfer.Report, len(s.Levels))
+	mines := make([]transfer.Report, len(s.Levels))
+	promcs := make([]transfer.Report, len(s.Levels))
+	htees := make([]core.HTEEResult, len(s.Levels))
+
+	p := sched.New(ctx, workers)
+	p.Go(func(ctx context.Context) error {
+		r, err := core.GUC(ctx, sim(), ds, core.GUCOptions{})
+		if err != nil {
+			return fmt.Errorf("GUC: %w", err)
+		}
+		guc = r
+		return nil
+	})
+	p.Go(func(ctx context.Context) error {
+		r, err := core.GO(ctx, sim(), ds)
+		if err != nil {
+			return fmt.Errorf("GO: %w", err)
+		}
+		gor = r
+		return nil
+	})
+	for i, level := range s.Levels {
+		i, level := i, level
+		p.Go(func(ctx context.Context) error {
+			r, err := core.SC(ctx, sim(), ds, level)
+			if err != nil {
+				return fmt.Errorf("SC@%d: %w", level, err)
+			}
+			scs[i] = r
+			return nil
+		})
+		p.Go(func(ctx context.Context) error {
+			r, err := core.MinE(ctx, sim(), ds, level)
+			if err != nil {
+				return fmt.Errorf("MinE@%d: %w", level, err)
+			}
+			mines[i] = r
+			return nil
+		})
+		p.Go(func(ctx context.Context) error {
+			r, err := core.ProMC(ctx, sim(), ds, level)
+			if err != nil {
+				return fmt.Errorf("ProMC@%d: %w", level, err)
+			}
+			promcs[i] = r
+			return nil
+		})
+		p.Go(func(ctx context.Context) error {
+			r, err := core.HTEE(ctx, sim(), ds, level)
+			if err != nil {
+				return fmt.Errorf("HTEE@%d: %w", level, err)
+			}
+			htees[i] = r
+			return nil
+		})
+	}
+	p.Go(func(ctx context.Context) error {
+		r, err := core.BFWith(ctx, sim, ds, tb.BFMaxConcurrency, core.BFOptions{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("BF: %w", err)
+		}
+		bf = r
+		return nil
+	})
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+
+	// Deterministic assembly in level order.
 	put := func(algo string, level int, r transfer.Report) {
 		if s.Reports[algo] == nil {
 			s.Reports[algo] = make(map[int]transfer.Report)
 		}
 		s.Reports[algo][level] = r
 	}
-	sim := func() transfer.Executor { return transfer.NewSim(tb) }
-
-	guc, err := core.GUC(ctx, sim(), ds, core.GUCOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("GUC: %w", err)
-	}
-	gor, err := core.GO(ctx, sim(), ds)
-	if err != nil {
-		return nil, fmt.Errorf("GO: %w", err)
-	}
-	for _, level := range s.Levels {
+	for i, level := range s.Levels {
 		put(core.NameGUC, level, guc)
 		put(core.NameGO, level, gor)
-
-		sc, err := core.SC(ctx, sim(), ds, level)
-		if err != nil {
-			return nil, fmt.Errorf("SC@%d: %w", level, err)
-		}
-		put(core.NameSC, level, sc)
-
-		mine, err := core.MinE(ctx, sim(), ds, level)
-		if err != nil {
-			return nil, fmt.Errorf("MinE@%d: %w", level, err)
-		}
-		put(core.NameMinE, level, mine)
-
-		promc, err := core.ProMC(ctx, sim(), ds, level)
-		if err != nil {
-			return nil, fmt.Errorf("ProMC@%d: %w", level, err)
-		}
-		put(core.NameProMC, level, promc)
-
-		htee, err := core.HTEE(ctx, sim(), ds, level)
-		if err != nil {
-			return nil, fmt.Errorf("HTEE@%d: %w", level, err)
-		}
-		put(core.NameHTEE, level, htee.Report)
-		s.HTEE[level] = htee
-	}
-
-	bf, err := core.BF(ctx, sim(), ds, tb.BFMaxConcurrency)
-	if err != nil {
-		return nil, fmt.Errorf("BF: %w", err)
+		put(core.NameSC, level, scs[i])
+		put(core.NameMinE, level, mines[i])
+		put(core.NameProMC, level, promcs[i])
+		put(core.NameHTEE, level, htees[i].Report)
+		s.HTEE[level] = htees[i]
 	}
 	s.BF = bf
 	return s, nil
@@ -111,16 +169,13 @@ func (s *Sweep) Algorithms() []string {
 		}
 	}
 	// Anything extra (future algorithms) in stable order.
+	known := make(map[string]bool, len(order))
+	for _, o := range order {
+		known[o] = true
+	}
 	var extra []string
 	for a := range s.Reports {
-		found := false
-		for _, o := range order {
-			if a == o {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if !known[a] {
 			extra = append(extra, a)
 		}
 	}

@@ -1,0 +1,43 @@
+package proto
+
+import "sync"
+
+// blockBufPool recycles payload buffers on the real-TCP data path so
+// the steady state moves blocks with no per-block allocation: the
+// server reads each block into a pooled buffer, hands it to the stream
+// writer that owns it until the bytes are on the wire, and the writer
+// returns it; each client stream loop holds one pooled buffer for the
+// lifetime of its connection.
+//
+// Ownership rules (see DESIGN.md §6):
+//
+//   - whoever calls getBlockBuf must arrange exactly one putBlockBuf,
+//     on every path including errors and drain-after-failure;
+//   - a buffer handed across a channel belongs to the receiver;
+//   - payload slices handed to a Sink.WriteAt are only valid for the
+//     duration of the call — sinks must not retain them.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, DefaultBlockSize)
+		return &b
+	},
+}
+
+// getBlockBuf returns a pooled buffer resized to length n, growing it
+// when a server runs a block size above DefaultBlockSize.
+func getBlockBuf(n int) *[]byte {
+	p := blockBufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putBlockBuf returns a buffer to the pool.
+func putBlockBuf(p *[]byte) {
+	if p == nil {
+		return
+	}
+	blockBufPool.Put(p)
+}

@@ -283,17 +283,23 @@ func (ch *Channel) controlLoop() {
 func (ch *Channel) streamLoop(conn net.Conn) {
 	defer ch.wg.Done()
 	br := bufio.NewReaderSize(conn, 256*1024)
-	buf := make([]byte, DefaultBlockSize)
+	// One pooled payload buffer and one header scratch per stream for
+	// the connection's lifetime: the steady-state receive path never
+	// allocates per block, and short-lived channels (dial, fetch,
+	// close) recycle each other's buffers through the pool.
+	bufp := getBlockBuf(DefaultBlockSize)
+	defer putBlockBuf(bufp)
+	scratch := make([]byte, blockHeaderSize)
 	for {
-		h, err := readBlockHeader(br)
+		h, err := readBlockHeaderBuf(br, scratch)
 		if err != nil {
 			ch.failAll(err)
 			return
 		}
-		if int(h.Length) > len(buf) {
-			buf = make([]byte, h.Length)
+		if int(h.Length) > cap(*bufp) {
+			*bufp = make([]byte, h.Length)
 		}
-		payload := buf[:h.Length]
+		payload := (*bufp)[:h.Length]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			ch.failAll(err)
 			return

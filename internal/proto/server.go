@@ -408,10 +408,14 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 	}
 	blockSize := sess.srv.cfg.blockSize()
 
-	// Per-stream block queues and writer goroutines.
+	// Per-stream block queues and writer goroutines. Payloads ride in
+	// pooled buffers: the reader below fills one per block, and the
+	// writer that receives it owns it — it returns the buffer to the
+	// pool once the bytes are written (or dropped during a drain), so
+	// the steady-state path allocates nothing per block.
 	type block struct {
-		header  blockHeader
-		payload []byte
+		header blockHeader
+		buf    *[]byte // pooled payload; owned by the receiving writer
 	}
 	queues := make([]chan block, len(streams))
 	errs := make([]error, len(streams))
@@ -423,17 +427,16 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 			defer wg.Done()
 			perStream := NewLimiter(sess.srv.cfg.PerStreamRate)
 			w := shapedWriter{w: streams[i], limiters: []*Limiter{perStream, sess.srv.link}}
+			scratch := make([]byte, blockHeaderSize)
 			for b := range queues[i] {
-				if errs[i] != nil {
-					continue // drain after failure
+				if errs[i] == nil {
+					if err := writeBlockHeaderBuf(w, scratch, b.header); err != nil {
+						errs[i] = err
+					} else if _, err := w.Write(*b.buf); err != nil {
+						errs[i] = err
+					}
 				}
-				if err := writeBlockHeader(w, b.header); err != nil {
-					errs[i] = err
-					continue
-				}
-				if _, err := w.Write(b.payload); err != nil {
-					errs[i] = err
-				}
+				putBlockBuf(b.buf)
 			}
 		}(i)
 	}
@@ -447,20 +450,23 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 		if n > remaining {
 			n = remaining
 		}
-		payload := make([]byte, n)
+		bufp := getBlockBuf(int(n))
+		payload := *bufp
 		read, err := sess.srv.cfg.Store.ReadAt(req.Name, payload, offset)
 		if err != nil && !(err == io.EOF && int64(read) == n) {
+			putBlockBuf(bufp)
 			readErr = fmt.Errorf("reading %s at %d: %w", req.Name, offset, err)
 			break
 		}
 		if int64(read) != n {
+			putBlockBuf(bufp)
 			readErr = fmt.Errorf("short read on %s at %d: %d of %d", req.Name, offset, read, n)
 			break
 		}
 		crc.Write(payload)
 		queues[blockIdx%len(queues)] <- block{
-			header:  blockHeader{ReqID: req.ID, Offset: uint64(offset), Length: uint32(n)},
-			payload: payload,
+			header: blockHeader{ReqID: req.ID, Offset: uint64(offset), Length: uint32(n)},
+			buf:    bufp,
 		}
 		offset += n
 		remaining -= n

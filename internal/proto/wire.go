@@ -55,21 +55,16 @@ type blockHeader struct {
 	Length uint32
 }
 
-func writeBlockHeader(w io.Writer, h blockHeader) error {
-	var buf [blockHeaderSize]byte
+// encodeBlockHeader serializes h into buf[:blockHeaderSize].
+func encodeBlockHeader(buf []byte, h blockHeader) {
 	binary.BigEndian.PutUint16(buf[0:2], blockMagic)
 	binary.BigEndian.PutUint32(buf[2:6], h.ReqID)
 	binary.BigEndian.PutUint64(buf[6:14], h.Offset)
 	binary.BigEndian.PutUint32(buf[14:18], h.Length)
-	_, err := w.Write(buf[:])
-	return err
 }
 
-func readBlockHeader(r io.Reader) (blockHeader, error) {
-	var buf [blockHeaderSize]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return blockHeader{}, err
-	}
+// decodeBlockHeader parses buf[:blockHeaderSize].
+func decodeBlockHeader(buf []byte) (blockHeader, error) {
 	if magic := binary.BigEndian.Uint16(buf[0:2]); magic != blockMagic {
 		return blockHeader{}, fmt.Errorf("proto: bad block magic %#04x", magic)
 	}
@@ -78,6 +73,37 @@ func readBlockHeader(r io.Reader) (blockHeader, error) {
 		Offset: binary.BigEndian.Uint64(buf[6:14]),
 		Length: binary.BigEndian.Uint32(buf[14:18]),
 	}, nil
+}
+
+func writeBlockHeader(w io.Writer, h blockHeader) error {
+	var buf [blockHeaderSize]byte
+	encodeBlockHeader(buf[:], h)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// writeBlockHeaderBuf is writeBlockHeader with caller-owned scratch.
+// Hot loops reuse one scratch slice per goroutine so the header does
+// not escape to the heap on every block.
+func writeBlockHeaderBuf(w io.Writer, scratch []byte, h blockHeader) error {
+	encodeBlockHeader(scratch[:blockHeaderSize], h)
+	_, err := w.Write(scratch[:blockHeaderSize])
+	return err
+}
+
+func readBlockHeader(r io.Reader) (blockHeader, error) {
+	var buf [blockHeaderSize]byte
+	return readBlockHeaderBuf(r, buf[:])
+}
+
+// readBlockHeaderBuf is readBlockHeader with caller-owned scratch,
+// for the same reason as writeBlockHeaderBuf.
+func readBlockHeaderBuf(r io.Reader, scratch []byte) (blockHeader, error) {
+	scratch = scratch[:blockHeaderSize]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return blockHeader{}, err
+	}
+	return decodeBlockHeader(scratch)
 }
 
 // getRequest is a parsed GET command.

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapAssemblesByIndex(t *testing.T) {
+	got, err := Map(context.Background(), 4, 100, func(_ context.Context, i int) (int, error) {
+		// Finish in scrambled order to prove assembly is index-keyed.
+		time.Sleep(time.Duration((i*37)%5) * time.Millisecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSingleWorkerRunsInSubmissionOrder(t *testing.T) {
+	var order []int
+	err := ForEach(context.Background(), 1, 50, func(_ context.Context, i int) error {
+		order = append(order, i) // safe: one worker means no concurrency
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v is not submission order", order)
+		}
+	}
+}
+
+func TestFirstErrorWinsAndCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var started, cancelled atomic.Int32
+	p := New(context.Background(), 2)
+	p.Go(func(ctx context.Context) error {
+		started.Add(1)
+		return boom
+	})
+	for i := 0; i < 20; i++ {
+		p.Go(func(ctx context.Context) error {
+			started.Add(1)
+			select {
+			case <-ctx.Done():
+				cancelled.Add(1)
+				return ctx.Err()
+			case <-time.After(50 * time.Millisecond):
+				return nil
+			}
+		})
+	}
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait() = %v, want %v", err, boom)
+	}
+	if started.Load() == 21 && cancelled.Load() == 0 {
+		t.Fatal("no task observed cancellation after the failure")
+	}
+}
+
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(ctx, 1)
+	release := make(chan struct{})
+	p.Go(func(ctx context.Context) error {
+		<-release
+		return ctx.Err()
+	})
+	cancel()
+	// The worker slot is occupied and the context is dead: this task
+	// must be dropped, not left blocking forever.
+	p.Go(func(ctx context.Context) error { return nil })
+	close(release)
+	if err := p.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait() = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapDiscardsPartialResultsOnError(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if out != nil {
+		t.Fatalf("want nil results on error, got %v", out)
+	}
+}
+
+// TestStress hammers the pool with many rounds of mixed success,
+// failure and cancellation so `go test -race` can see into every
+// synchronization path.
+func TestStress(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		failAt := -1
+		if round%3 == 0 {
+			failAt = round * 7 % 100
+		}
+		var ran atomic.Int64
+		var sum atomic.Int64
+		err := ForEach(context.Background(), 8, 100, func(ctx context.Context, i int) error {
+			ran.Add(1)
+			if i == failAt {
+				return fmt.Errorf("injected failure at %d", i)
+			}
+			sum.Add(int64(i))
+			return nil
+		})
+		if failAt >= 0 {
+			if err == nil {
+				t.Fatalf("round %d: injected failure not reported", round)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if ran.Load() != 100 || sum.Load() != 4950 {
+			t.Fatalf("round %d: ran %d tasks summing %d", round, ran.Load(), sum.Load())
+		}
+	}
+}
+
+// TestNoGoroutineLeakOnFailure: after Wait returns, every slot must
+// have been released (another full batch must be schedulable).
+func TestPoolReusableSlotsAfterFailure(t *testing.T) {
+	err := ForEach(context.Background(), 2, 10, func(_ context.Context, i int) error {
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// A fresh pool over the same context machinery must still work.
+	if err := ForEach(context.Background(), 2, 10, func(_ context.Context, i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -687,8 +687,18 @@ func (s *simSession) integratePower(dt time.Duration) {
 			}
 		}
 	}
+	// Sum in server-index order: float addition is not associative, so
+	// iterating the map directly would make the energy totals differ in
+	// the last ulp from run to run (and break the determinism contract
+	// of the parallel experiment engine, DESIGN.md §6).
+	idxs := make([]int, 0, len(loads))
+	for idx := range loads {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
 	var total units.Watts
-	for _, l := range loads {
+	for _, idx := range idxs {
+		l := loads[idx]
 		for _, server := range []endsys.Server{s.sim.TB.Source, s.sim.TB.Dest} {
 			var u endsys.Utilization
 			if l.procs == 0 && l.rate == 0 {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and emit one JSON object per benchmark on stdout.
+#
+#   scripts/bench.sh                 # full suite
+#   scripts/bench.sh ProtoLoopback   # filter by benchmark name regexp
+#
+# Each line is {"name":..., "iterations":..., "ns_per_op":..., ...} with any
+# custom metrics (MB/s, B/op, allocs/op, figure metrics) included, so results
+# can be diffed across commits with plain jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+
+go test -run '^$' -bench "$pattern" -benchmem . | awk '
+/^Benchmark/ {
+    printf "{\"name\":\"%s\",\"iterations\":%s", $1, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_.%]/, "_", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    print "}"
+}
+'
