@@ -1,0 +1,27 @@
+// Command vettool is the project's multichecker: a `go vet -vettool`
+// binary bundling the invariant analyzers under internal/analysis that
+// turn the determinism, buffer-ownership and scheduling rules of
+// DESIGN.md §6–§7 into machine-checked CI gates (scripts/lint.sh).
+//
+// Usage:
+//
+//	go build -o /tmp/vettool ./cmd/vettool
+//	go vet -vettool=/tmp/vettool ./...
+package main
+
+import (
+	"github.com/didclab/eta/internal/analysis/bufown"
+	"github.com/didclab/eta/internal/analysis/mapfloatsum"
+	"github.com/didclab/eta/internal/analysis/nakedgo"
+	"github.com/didclab/eta/internal/analysis/nodeterm"
+	"github.com/didclab/eta/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		mapfloatsum.Analyzer,
+		nodeterm.Analyzer,
+		bufown.Analyzer,
+		nakedgo.Analyzer,
+	)
+}

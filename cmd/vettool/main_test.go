@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolProtocol builds the tool and drives it end to end through
+// `go vet -vettool` over representative clean packages, plus the two
+// protocol queries cmd/go issues (-V=full for the build cache key,
+// -flags for flag discovery).
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and shells out to the go tool")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "vettool")
+
+	build := exec.Command(goTool, "build", "-o", bin, "./cmd/vettool")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[0] != "vettool" || fields[1] != "version" {
+		t.Fatalf("-V=full output %q does not match the \"<tool> version ...\" shape cmd/go requires", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(out)), "[") {
+		t.Fatalf("-flags output %q is not a JSON array", out)
+	}
+
+	vet := exec.Command(goTool, "vet", "-vettool="+bin,
+		"./internal/sched", "./internal/units", "./internal/core")
+	vet.Dir = repoRoot
+	vet.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var stderr bytes.Buffer
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool on clean packages failed: %v\n%s", err, stderr.String())
+	}
+}

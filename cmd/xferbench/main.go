@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"github.com/didclab/eta/internal/cliutil"
 	"github.com/didclab/eta/internal/dataset"
 	"github.com/didclab/eta/internal/proto"
+	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/units"
 )
 
@@ -121,37 +123,27 @@ func measure(client *proto.Client, files []dataset.File, perPoint units.Bytes, c
 		parts[i%conc] = append(parts[i%conc], f)
 	}
 
-	type result struct {
-		res proto.FetchResult
-		err error
-	}
-	results := make(chan result, conc)
 	start := time.Now()
-	for _, part := range parts {
-		go func(part []dataset.File) {
-			if len(part) == 0 {
-				results <- result{}
-				return
-			}
-			ch, err := client.OpenChannel(par)
-			if err != nil {
-				results <- result{err: err}
-				return
-			}
-			defer ch.Close()
-			res, err := ch.Fetch(part, pipe, discard{})
-			results <- result{res: res, err: err}
-		}(part)
+	results, err := sched.Map(context.Background(), conc, conc, func(_ context.Context, i int) (proto.FetchResult, error) {
+		part := parts[i]
+		if len(part) == 0 {
+			return proto.FetchResult{}, nil
+		}
+		ch, err := client.OpenChannel(par)
+		if err != nil {
+			return proto.FetchResult{}, err
+		}
+		defer ch.Close()
+		return ch.Fetch(part, pipe, discard{})
+	})
+	if err != nil {
+		return 0, 0, 0, err
 	}
 	var moved units.Bytes
 	var count int
-	for i := 0; i < conc; i++ {
-		r := <-results
-		if r.err != nil {
-			return 0, 0, 0, r.err
-		}
-		moved += r.res.Bytes
-		count += r.res.Files
+	for _, r := range results {
+		moved += r.Bytes
+		count += r.Files
 	}
 	dur := time.Since(start)
 	return units.RateOf(moved, dur), dur, count, nil

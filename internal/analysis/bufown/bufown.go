@@ -1,0 +1,64 @@
+// Package bufown enforces the proto block-buffer ownership rule
+// (DESIGN.md §6.2): whoever calls getBlockBuf must arrange exactly one
+// putBlockBuf. The check is intraprocedural containment — a function
+// (including its nested function literals) that calls getBlockBuf must
+// also mention putBlockBuf, preferably via defer — not a full CFG
+// all-paths proof; it catches the realistic failure mode of a new call
+// site that never releases at all, while the race detector and the
+// pool's steady-state benchmark catch double-put/leak imbalances.
+//
+// Deliberate ownership transfers (a buffer sent over a channel belongs
+// to the receiver; see the server's per-stream writer) happen inside
+// functions that still contain the matching putBlockBuf, so they pass
+// as-is. A true handoff out of the function must be annotated
+// `//lint:allow bufown handoff: <who releases>` on the getBlockBuf
+// line.
+package bufown
+
+import (
+	"go/ast"
+
+	"github.com/didclab/eta/internal/analysis/framework"
+)
+
+// Analyzer is the bufown instance wired into cmd/vettool.
+var Analyzer = &framework.Analyzer{
+	Name: "bufown",
+	Doc:  "require a putBlockBuf (or an explicit handoff annotation) in every function that calls getBlockBuf",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var gets []*ast.CallExpr
+			hasPut := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.CallExpr:
+					if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "getBlockBuf" {
+						gets = append(gets, v)
+					}
+				case *ast.Ident:
+					// Any mention counts: a direct call, a deferred
+					// call, or passing putBlockBuf as a cleanup func.
+					if v.Name == "putBlockBuf" {
+						hasPut = true
+					}
+				}
+				return true
+			})
+			if hasPut {
+				continue
+			}
+			for _, g := range gets {
+				pass.Reportf(g.Pos(), "getBlockBuf result is never released: %s has no putBlockBuf on any path; release the buffer or annotate the handoff with //lint:allow bufown", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/analysis/analysistest"
+	"github.com/didclab/eta/internal/analysis/bufown"
+)
+
+func TestBufOwn(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), bufown.Analyzer, "bufownfix")
+}

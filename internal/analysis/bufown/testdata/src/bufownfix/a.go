@@ -1,0 +1,68 @@
+// Package bufownfix exercises bufown against a local replica of the
+// proto buffer-pool API (matching is by name, so no import needed).
+package bufownfix
+
+var pool [][]byte
+
+func getBlockBuf(n int) *[]byte {
+	b := make([]byte, n)
+	return &b
+}
+
+func putBlockBuf(p *[]byte) {
+	if p != nil {
+		pool = append(pool, *p)
+	}
+}
+
+// leak never releases: the realistic new-call-site failure mode.
+func leak(n int) int {
+	bufp := getBlockBuf(n) // want `getBlockBuf result is never released`
+	return len(*bufp)
+}
+
+// deferred is the preferred shape: release pinned at acquisition.
+func deferred(n int) int {
+	bufp := getBlockBuf(n)
+	defer putBlockBuf(bufp)
+	return len(*bufp)
+}
+
+// branches releases explicitly on both paths, like the server's
+// read-error handling.
+func branches(n int, fail bool) int {
+	bufp := getBlockBuf(n)
+	if fail {
+		putBlockBuf(bufp)
+		return 0
+	}
+	m := len(*bufp)
+	putBlockBuf(bufp)
+	return m
+}
+
+// handoffChannel transfers ownership into a goroutine-owned channel;
+// the receiver-side put is still inside this function body (nested
+// literal), so containment holds without an annotation.
+func handoffChannel(n int) {
+	ch := make(chan *[]byte, 1)
+	go func() {
+		for p := range ch {
+			putBlockBuf(p)
+		}
+	}()
+	ch <- getBlockBuf(n)
+	close(ch)
+}
+
+// handoffAnnotated hands the buffer to the caller: the directive names
+// the new owner, silencing the diagnostic.
+func handoffAnnotated(n int) *[]byte {
+	//lint:allow bufown handoff: caller releases via putBlockBuf
+	return getBlockBuf(n)
+}
+
+// unrelated never touches the pool: no diagnostic.
+func unrelated(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,124 @@
+// Package mapfloatsum flags floating-point accumulation performed in
+// map iteration order. Float addition is not associative, so reducing
+// over Go's randomized map order makes the result differ in the last
+// ulp between runs — the exact bug class that made simSession
+// .integratePower's energy totals drift until it was rewritten to sum
+// over sorted server indices (DESIGN.md §6.1). The analyzer reports an
+// accumulator that (a) has a floating-point (or complex) type, (b) is
+// declared outside the `range` statement, and (c) is updated with
+// `+=`, `-=`, `*=`, `/=` or `x = x + ...` anywhere inside the body of
+// a `range` over a map.
+package mapfloatsum
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/didclab/eta/internal/analysis/framework"
+)
+
+// Analyzer is the mapfloatsum instance wired into cmd/vettool.
+var Analyzer = &framework.Analyzer{
+	Name: "mapfloatsum",
+	Doc:  "flag floating-point accumulation in map iteration order (non-associative, order-randomized)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if ok {
+					checkAssign(pass, rs, as, reported)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAssign(pass *framework.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, reported map[token.Pos]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 {
+			report(pass, rs, as.Lhs[0], as, reported)
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			be, ok := as.Rhs[i].(*ast.BinaryExpr)
+			if !ok {
+				continue
+			}
+			switch be.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				continue
+			}
+			if sameExpr(pass, lhs, be.X) || sameExpr(pass, lhs, be.Y) {
+				report(pass, rs, lhs, as, reported)
+			}
+		}
+	}
+}
+
+// report fires when lhs is a float-typed accumulator that outlives the
+// range statement.
+func report(pass *framework.Pass, rs *ast.RangeStmt, lhs ast.Expr, as *ast.AssignStmt, reported map[token.Pos]bool) {
+	if reported[as.Pos()] {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[lhs]
+	if !ok || tv.Type == nil {
+		return
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsFloat|types.IsComplex) == 0 {
+		return
+	}
+	root := framework.RootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	if obj := pass.TypesInfo.ObjectOf(root); obj != nil {
+		if rs.Pos() <= obj.Pos() && obj.Pos() < rs.End() {
+			return // accumulator scoped to one iteration: order-safe
+		}
+	}
+	reported[as.Pos()] = true
+	pass.Reportf(as.Pos(), "%s accumulates floating-point values in map iteration order; float addition is not associative, so the total differs between runs — iterate sorted keys instead",
+		types.ExprString(lhs))
+}
+
+// sameExpr reports whether a and b denote the same lvalue: identical
+// objects for plain identifiers, identical spellings otherwise.
+func sameExpr(pass *framework.Pass, a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	if aok != bok {
+		return false
+	}
+	if aok {
+		oa, ob := pass.TypesInfo.ObjectOf(ai), pass.TypesInfo.ObjectOf(bi)
+		return oa != nil && oa == ob
+	}
+	return types.ExprString(a) == types.ExprString(b)
+}

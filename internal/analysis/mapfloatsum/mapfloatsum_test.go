@@ -1,0 +1,12 @@
+package mapfloatsum_test
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/analysis/analysistest"
+	"github.com/didclab/eta/internal/analysis/mapfloatsum"
+)
+
+func TestMapFloatSum(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), mapfloatsum.Analyzer, "a")
+}

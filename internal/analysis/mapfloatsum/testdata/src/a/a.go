@@ -1,0 +1,91 @@
+// Package a exercises mapfloatsum: float accumulators updated in map
+// iteration order fire; order-independent and slice-ordered reductions
+// do not.
+package a
+
+import "sort"
+
+type watts float64
+
+type srvLoad struct {
+	rate  float64
+	procs int
+}
+
+// integratePower replicates the original map-order bug fixed in
+// internal/transfer: summing per-server watts by ranging the map
+// directly made energy totals drift in the last ulp between runs.
+func integratePower(loads map[int]*srvLoad) watts {
+	var total watts
+	for _, l := range loads { // the PR 1 incident, reduced
+		total += watts(l.rate) // want `accumulates floating-point values in map iteration order`
+	}
+	return total
+}
+
+// integratePowerFixed is the post-incident shape: reduce over sorted
+// keys so the addition order is pinned.
+func integratePowerFixed(loads map[int]*srvLoad) watts {
+	idxs := make([]int, 0, len(loads))
+	for idx := range loads {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var total watts
+	for _, idx := range idxs {
+		total += watts(loads[idx].rate) // slice order: deterministic
+	}
+	return total
+}
+
+func variants(m map[string]float64, byKey map[string]*srvLoad) (float64, float64, int, float64) {
+	var spelledOut float64
+	for _, v := range m {
+		spelledOut = spelledOut + v // want `accumulates floating-point values`
+	}
+
+	var nested float64
+	for _, l := range byKey {
+		for i := 0; i < l.procs; i++ {
+			nested -= l.rate // want `accumulates floating-point values`
+		}
+	}
+
+	// Integer accumulation is associative: no diagnostic.
+	var count int
+	for _, l := range byKey {
+		count += l.procs
+	}
+
+	// Field accumulators outlive the loop too.
+	var agg srvLoad
+	for _, v := range m {
+		agg.rate += v // want `accumulates floating-point values`
+	}
+
+	// An accumulator scoped to one iteration never sees map order.
+	var last float64
+	for _, l := range byKey {
+		perIter := 0.0
+		perIter += l.rate
+		last = perIter
+	}
+
+	// Suppressed: a deliberate, tolerance-checked reduction.
+	var allowed float64
+	for _, v := range m {
+		//lint:allow mapfloatsum tolerance-compared aggregate, order-insensitive by construction
+		allowed += v
+	}
+
+	return spelledOut, nested, count, last + agg.rate + allowed
+}
+
+// sliceSum ranges a slice: order is fixed, no diagnostic.
+func sliceSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

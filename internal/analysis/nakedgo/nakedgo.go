@@ -1,0 +1,52 @@
+// Package nakedgo flags `go` statements outside the packages that own
+// concurrency. The experiment layer's determinism contract (DESIGN.md
+// §6.1) holds because all fan-out runs on internal/sched's bounded
+// pool with index-keyed assembly; an ad-hoc goroutine with a shared
+// accumulator or completion-ordered append is how that contract rots.
+// Only internal/sched (the pool itself), internal/proto (per-stream
+// writers and the shaper on the real-TCP data path) and internal/netem
+// (link emulation timers) may spawn goroutines directly. Everyone else
+// uses sched.Pool/sched.Map, or justifies the exception with
+// `//lint:allow nakedgo <reason>`. Test files are exempt: tests
+// routinely spawn helpers (servers, cancellation probes) and do not
+// feed results into the deterministic assembly path.
+package nakedgo
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/didclab/eta/internal/analysis/framework"
+)
+
+// AllowedPaths are the package-path roots that own raw goroutines.
+var AllowedPaths = []string{
+	"internal/sched",
+	"internal/proto",
+	"internal/netem",
+}
+
+// Analyzer is the nakedgo instance wired into cmd/vettool.
+var Analyzer = &framework.Analyzer{
+	Name: "nakedgo",
+	Doc:  "flag go statements outside internal/sched, internal/proto and internal/netem; fan out via the bounded sched pool",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg != nil && framework.PathMatch(pass.Pkg.Path(), AllowedPaths) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "naked go statement outside the concurrency-owning packages; fan out through internal/sched's bounded pool (or annotate with //lint:allow nakedgo)")
+			}
+			return true
+		})
+	}
+	return nil
+}

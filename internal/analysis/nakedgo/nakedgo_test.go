@@ -1,0 +1,15 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/analysis/analysistest"
+	"github.com/didclab/eta/internal/analysis/nakedgo"
+)
+
+func TestNakedGo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nakedgo.Analyzer,
+		"expharness",     // restricted path: diagnostics fire
+		"internal/proto", // concurrency-owning path: silence
+	)
+}

@@ -1,0 +1,35 @@
+// Package expharness stands in for experiment-layer code, where raw
+// goroutines are banned in favour of the bounded sched pool.
+package expharness
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(w func()) { // want `naked go statement outside the concurrency-owning packages`
+			defer wg.Done()
+			w()
+		}(w)
+	}
+	wg.Wait()
+}
+
+func fire(done chan struct{}) {
+	go close(done) // want `naked go statement outside the concurrency-owning packages`
+}
+
+// sanctioned models a justified exception, e.g. a long-lived
+// signal-handler loop that never touches experiment results.
+func sanctioned(done chan struct{}) {
+	//lint:allow nakedgo lifecycle goroutine, no result assembly
+	go close(done)
+}
+
+// serial code obviously passes.
+func runAll(work []func()) {
+	for _, w := range work {
+		w()
+	}
+}

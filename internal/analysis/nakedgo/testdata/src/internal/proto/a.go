@@ -1,0 +1,12 @@
+// Package proto sits on an allowed path ("internal/proto"): the
+// real-TCP data path owns its goroutines, so nothing fires.
+package proto
+
+func streamWriters(queues []chan []byte) {
+	for i := range queues {
+		go func(q chan []byte) {
+			for range q {
+			}
+		}(queues[i])
+	}
+}

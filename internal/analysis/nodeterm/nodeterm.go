@@ -1,0 +1,86 @@
+// Package nodeterm keeps wall-clock time and the process-global RNG
+// out of the deterministic packages. The simulator, the algorithms and
+// the experiment harness promise bit-identical output for a given
+// seed (DESIGN.md §6.1); a single `time.Now()` or global `rand.Intn`
+// smuggled into those packages silently breaks that promise. Flagged
+// inside DeterministicPaths:
+//
+//   - time.Now, time.Since, time.Until — wall-clock reads (simulated
+//     time must come from the session's own clock);
+//   - every package-level math/rand and math/rand/v2 function
+//     (rand.Intn, rand.Float64, rand.Perm, rand.Shuffle, rand.Seed,
+//     ...) — they draw from the shared, process-seeded source. The
+//     constructors rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG
+//     and rand.NewChaCha8 stay legal: an explicitly seeded *rand.Rand
+//     is the sanctioned way to be random and reproducible.
+//
+// Injected-clock seams (a field defaulting to time.Now that tests
+// override) are annotated `//lint:allow nodeterm <reason>`.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/didclab/eta/internal/analysis/framework"
+)
+
+// DeterministicPaths lists the package-path roots the invariant covers
+// (matched segment-wise at any depth, test variants included).
+var DeterministicPaths = []string{
+	"internal/core",
+	"internal/experiments",
+	"internal/transfer",
+	"internal/power",
+	"internal/endsys",
+	"internal/dataset",
+}
+
+// timeFuncs are the wall-clock readers banned in deterministic code.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors take an explicit seed or source and are allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the nodeterm instance wired into cmd/vettool.
+var Analyzer = &framework.Analyzer{
+	Name: "nodeterm",
+	Doc:  "flag wall-clock and global-RNG use inside the deterministic simulation/experiment packages",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg == nil || !framework.PathMatch(pass.Pkg.Path(), DeterministicPaths) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if timeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; take time from the session clock or inject a Clock seam", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "global %s.%s draws from the process-wide RNG in a deterministic package; use an explicitly seeded rand.New(rand.NewSource(seed))", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

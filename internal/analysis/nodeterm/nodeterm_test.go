@@ -1,0 +1,45 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/analysis/analysistest"
+	"github.com/didclab/eta/internal/analysis/framework"
+	"github.com/didclab/eta/internal/analysis/nodeterm"
+)
+
+func TestNoDeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeterm.Analyzer,
+		"internal/core", // deterministic path: diagnostics fire
+		"freepkg",       // unrestricted path: silence
+	)
+}
+
+// TestRepoPathsCovered pins the policy to the real module layout,
+// including the test-variant decorations go vet reports.
+func TestRepoPathsCovered(t *testing.T) {
+	for _, path := range []string{
+		"github.com/didclab/eta/internal/core",
+		"github.com/didclab/eta/internal/experiments",
+		"github.com/didclab/eta/internal/transfer",
+		"github.com/didclab/eta/internal/power",
+		"github.com/didclab/eta/internal/endsys",
+		"github.com/didclab/eta/internal/dataset",
+		"github.com/didclab/eta/internal/core_test",
+		"github.com/didclab/eta/internal/core [github.com/didclab/eta/internal/core.test]",
+	} {
+		if !framework.PathMatch(path, nodeterm.DeterministicPaths) {
+			t.Errorf("deterministic package not covered: %q", path)
+		}
+	}
+	for _, path := range []string{
+		"github.com/didclab/eta/internal/monitor",
+		"github.com/didclab/eta/internal/proto",
+		"github.com/didclab/eta/internal/netpower", // not internal/power
+		"github.com/didclab/eta/cmd/expdriver",
+	} {
+		if framework.PathMatch(path, nodeterm.DeterministicPaths) {
+			t.Errorf("non-deterministic package wrongly covered: %q", path)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package freepkg is outside the deterministic set: wall-clock reads
+// and the global RNG are its own business, so nothing fires here.
+package freepkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() (time.Duration, int) {
+	start := time.Now()
+	return time.Since(start), rand.Intn(10)
+}

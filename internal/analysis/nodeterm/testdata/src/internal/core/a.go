@@ -1,0 +1,44 @@
+// Package core stands in for a deterministic package: the path
+// "internal/core" matches nodeterm.DeterministicPaths.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() (time.Time, time.Duration, time.Duration) {
+	start := time.Now()            // want `time.Now reads the wall clock`
+	elapsed := time.Since(start)   // want `time.Since reads the wall clock`
+	remaining := time.Until(start) // want `time.Until reads the wall clock`
+	return start, elapsed, remaining
+}
+
+func globalRNG() (int, float64) {
+	n := rand.Intn(10)   // want `global rand.Intn draws from the process-wide RNG`
+	f := rand.Float64()  // want `global rand.Float64 draws from the process-wide RNG`
+	rand.Shuffle(n, nil) // want `global rand.Shuffle draws from the process-wide RNG`
+	return n, f
+}
+
+// seededRNG is the sanctioned pattern: explicit seed, private stream.
+func seededRNG(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() + rng.NormFloat64()
+}
+
+// clockSeam models monitor.ModelSource's injected-clock default, the
+// allowlisted exception the directive exists for.
+type clockSeam struct {
+	now func() time.Time
+}
+
+func newClockSeam() *clockSeam {
+	//lint:allow nodeterm injected-clock seam: tests override via SetClock
+	return &clockSeam{now: time.Now}
+}
+
+// parseDuration uses time for non-clock work: no diagnostic.
+func parseDuration(s string) (time.Duration, error) {
+	return time.ParseDuration(s)
+}

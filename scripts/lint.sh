@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# lint.sh — build the project multichecker and run the invariant suite
+# (DESIGN.md §7) plus gofmt over the tree. CI runs this as the Lint
+# step; run it locally before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== building cmd/vettool"
+go build -o "$tmp/vettool" ./cmd/vettool
+
+echo "== go vet (standard analyzers)"
+go vet ./...
+
+echo "== go vet -vettool (mapfloatsum, nodeterm, bufown, nakedgo)"
+go vet -vettool="$tmp/vettool" ./...
+
+echo "== gofmt"
+# testdata fixtures are excluded: they are analyzer inputs, not code.
+unformatted="$(find . -name '*.go' -not -path '*/testdata/*' -not -path './.git/*' -print0 | xargs -0 gofmt -l)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "lint OK"
