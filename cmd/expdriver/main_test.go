@@ -11,11 +11,11 @@ func TestRunFullDriver(t *testing.T) {
 		t.Skip("runs the whole evaluation")
 	}
 	out := t.TempDir()
-	if err := run(out, 20150615, ""); err != nil {
+	if err := run(out, 20150615, "", filepath.Join(out, "metrics.json")); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		"summary.md",
+		"summary.md", "metrics.json",
 		"sweep_xsede.csv", "sweep_futuregrid.csv", "sweep_didclab.csv",
 		"sla_xsede.csv", "sla_futuregrid.csv", "sla_didclab.csv",
 		filepath.Join("figures", "fig8_rate_power.svg"),
@@ -28,7 +28,7 @@ func TestRunFullDriver(t *testing.T) {
 }
 
 func TestRunUnknownTestbed(t *testing.T) {
-	if err := run(t.TempDir(), 1, "Mars"); err == nil {
+	if err := run(t.TempDir(), 1, "Mars", ""); err == nil {
 		t.Error("unknown testbed accepted")
 	}
 }

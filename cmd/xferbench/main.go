@@ -20,6 +20,7 @@ import (
 
 	"github.com/didclab/eta/internal/cliutil"
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/obs"
 	"github.com/didclab/eta/internal/proto"
 	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/units"
@@ -33,15 +34,17 @@ func main() {
 	concurrency := flag.Int("concurrency", 1, "fixed concurrency when sweeping another parameter")
 	parallelism := flag.Int("parallelism", 1, "fixed parallelism when sweeping another parameter")
 	pipelining := flag.Int("pipelining", 2, "fixed pipelining when sweeping another parameter")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+	eventsOut := flag.String("events", "", "append the JSONL event log to this file as the sweep runs")
 	flag.Parse()
 
-	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining); err != nil {
+	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xferbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int) error {
+func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string) error {
 	values, err := parseValues(valuesStr)
 	if err != nil {
 		return err
@@ -52,6 +55,37 @@ func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int) erro
 	}
 
 	client := &proto.Client{Addr: server}
+	if metricsOut != "" || eventsOut != "" {
+		reg := obs.NewRegistry()
+		var events *obs.Log
+		if eventsOut != "" {
+			f, err := os.Create(eventsOut)
+			if err != nil {
+				return fmt.Errorf("-events: %w", err)
+			}
+			defer f.Close()
+			events = obs.NewLog(f)
+		} else {
+			events = obs.NewLog(nil)
+		}
+		client.Metrics = reg
+		client.Events = events
+		sched.SetMetrics(reg)
+		defer sched.SetMetrics(nil)
+		if metricsOut != "" {
+			defer func() {
+				f, err := os.Create(metricsOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "xferbench: -metrics:", err)
+					return
+				}
+				defer f.Close()
+				if err := reg.WriteJSON(f); err != nil {
+					fmt.Fprintln(os.Stderr, "xferbench: -metrics:", err)
+				}
+			}()
+		}
+	}
 	files, err := client.List()
 	if err != nil {
 		return fmt.Errorf("listing %s: %w", server, err)

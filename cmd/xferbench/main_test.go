@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/didclab/eta/internal/dataset"
@@ -48,13 +52,66 @@ func TestRunSweepTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), "concurrency", "1,2", "400KB", 1, 1, 2); err != nil {
+	if err := run(srv.Addr(), "concurrency", "1,2", "400KB", 1, 1, 2, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(srv.Addr(), "bogus", "1", "400KB", 1, 1, 2); err == nil {
+	if err := run(srv.Addr(), "bogus", "1", "400KB", 1, 1, 2, "", ""); err == nil {
 		t.Error("unknown sweep parameter accepted")
 	}
-	if err := run("127.0.0.1:1", "concurrency", "1", "400KB", 1, 1, 2); err == nil {
+	if err := run("127.0.0.1:1", "concurrency", "1", "400KB", 1, 1, 2, "", ""); err == nil {
 		t.Error("dead server accepted")
+	}
+}
+
+func TestRunDumpsMetricsAndEvents(t *testing.T) {
+	ds := dataset.NewGenerator(3).Uniform(4, 200*units.KB)
+	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	events := filepath.Join(dir, "events.jsonl")
+	if err := run(srv.Addr(), "concurrency", "1", "300KB", 1, 1, 2, metrics, events); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	if snap.Counters["bytes_received"] <= 0 {
+		t.Errorf("bytes_received = %d, want > 0", snap.Counters["bytes_received"])
+	}
+	if snap.Counters["sched_tasks_completed"] <= 0 {
+		t.Errorf("sched_tasks_completed = %d, want > 0", snap.Counters["sched_tasks_completed"])
+	}
+
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	for sc := bufio.NewScanner(f); sc.Scan(); lines++ {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %d does not parse: %v", lines, err)
+		}
+		for _, key := range []string{"seq", "t", "type"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event line %d missing %q: %s", lines, key, sc.Text())
+			}
+		}
+	}
+	if lines == 0 {
+		t.Error("event log is empty")
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/didclab/eta/internal/cliutil"
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/obs"
 	"github.com/didclab/eta/internal/proto"
 )
 
@@ -32,12 +33,23 @@ func main() {
 	linkRate := flag.String("link-rate", "", "aggregate link rate cap (e.g. 10gbps)")
 	rtt := flag.Duration("rtt", 0, "emulated control-channel RTT")
 	block := flag.Int("block", proto.DefaultBlockSize, "striping block size in bytes")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /events on this address (e.g. :7633)")
 	flag.Parse()
 
 	cfg := proto.ServerConfig{
 		ControlRTT: *rtt,
 		BlockSize:  *block,
 		Logf:       log.Printf,
+	}
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Events = obs.NewLog(nil)
+		ms, err := obs.Serve(*metricsAddr, cfg.Metrics, cfg.Events)
+		if err != nil {
+			log.Fatalf("xferd: -metrics-addr: %v", err)
+		}
+		defer ms.Close()
+		log.Printf("xferd: observability on http://%s/metrics and /events", ms.Addr())
 	}
 	var err error
 	if cfg.PerStreamRate, err = cliutil.ParseRate(*streamRate); err != nil {

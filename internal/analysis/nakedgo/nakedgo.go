@@ -4,8 +4,9 @@
 // pool with index-keyed assembly; an ad-hoc goroutine with a shared
 // accumulator or completion-ordered append is how that contract rots.
 // Only internal/sched (the pool itself), internal/proto (per-stream
-// writers and the shaper on the real-TCP data path) and internal/netem
-// (link emulation timers) may spawn goroutines directly. Everyone else
+// writers and the shaper on the real-TCP data path), internal/netem
+// (link emulation timers) and internal/obs (the HTTP telemetry
+// endpoint's serve loop) may spawn goroutines directly. Everyone else
 // uses sched.Pool/sched.Map, or justifies the exception with
 // `//lint:allow nakedgo <reason>`. Test files are exempt: tests
 // routinely spawn helpers (servers, cancellation probes) and do not
@@ -24,6 +25,7 @@ var AllowedPaths = []string{
 	"internal/sched",
 	"internal/proto",
 	"internal/netem",
+	"internal/obs",
 }
 
 // Analyzer is the nakedgo instance wired into cmd/vettool.

@@ -34,6 +34,10 @@ var DeterministicPaths = []string{
 	"internal/power",
 	"internal/endsys",
 	"internal/dataset",
+	// obs is telemetry, not simulation, but it feeds timestamps into
+	// event logs that deterministic tests replay — so it must route all
+	// time reads through its injected Clock seam.
+	"internal/obs",
 }
 
 // timeFuncs are the wall-clock readers banned in deterministic code.

@@ -8,6 +8,8 @@ import (
 
 	"github.com/didclab/eta/internal/core"
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/testbed"
 	"github.com/didclab/eta/internal/transfer"
 )
@@ -151,6 +153,40 @@ func TestRunSLADeterminism(t *testing.T) {
 				t.Fatalf("parallel RunSLA diverged from serial reference on %s", tb.Name)
 			}
 		})
+	}
+}
+
+// TestRunSweepDeterminismWithInstrumentation pins the telemetry
+// contract: obs is write-only, so installing a live metrics registry on
+// the scheduler must leave every result bit-identical to an
+// uninstrumented run — while still actually counting the pool's tasks.
+func TestRunSweepDeterminismWithInstrumentation(t *testing.T) {
+	ctx := context.Background()
+	tb := testbed.All()[0]
+
+	bare, err := RunSweep(ctx, tb, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	sched.SetMetrics(reg)
+	defer sched.SetMetrics(nil)
+	instrumented, err := RunSweep(ctx, tb, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(bare, instrumented) {
+		t.Fatal("instrumented RunSweep diverged from bare run:\n" + diffSweeps(bare, instrumented))
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sched_tasks_started"] == 0 ||
+		snap.Counters["sched_tasks_completed"] != snap.Counters["sched_tasks_started"] {
+		t.Errorf("pool counters wrong: %v", snap.Counters)
+	}
+	if snap.Counters["sched_tasks_failed"] != 0 {
+		t.Errorf("sched_tasks_failed = %d on a clean sweep", snap.Counters["sched_tasks_failed"])
 	}
 }
 

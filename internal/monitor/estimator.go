@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/didclab/eta/internal/endsys"
+	"github.com/didclab/eta/internal/obs"
 	"github.com/didclab/eta/internal/power"
 	"github.com/didclab/eta/internal/units"
 )
@@ -44,6 +45,9 @@ type ModelSource struct {
 	// Processes reports the live transfer process (channel) count for
 	// Eq. 2; nil means 1.
 	Processes func() int
+	// Events, when set, receives an energy_model_sample event per
+	// booked interval. Write-only: the estimate never depends on it.
+	Events *obs.Log
 
 	mu       sync.Mutex
 	now      Clock
@@ -92,7 +96,15 @@ func (s *ModelSource) Total() (units.Joules, error) {
 			if s.Processes != nil {
 				procs = s.Processes()
 			}
-			s.meter.Add(s.model.Power(u, procs), dt)
+			w := s.model.Power(u, procs)
+			s.meter.Add(w, dt)
+			s.Events.Emit(obs.EvEnergyModel,
+				"joules_total", float64(s.meter.Total()),
+				"watts", float64(w),
+				"cpu_pct", u.CPU,
+				"nic_pct", u.NIC,
+				"disk_pct", u.Disk,
+				"interval_ms", float64(dt)/float64(time.Millisecond))
 		}
 	}
 	s.lastTime = now

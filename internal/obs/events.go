@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the instrumented transfer path. The log
+// accepts any type string; these constants are the vocabulary the
+// proto/sched/monitor instrumentation uses and DESIGN.md §8 documents.
+const (
+	EvTransferStarted  = "transfer_started"
+	EvTransferFinished = "transfer_finished"
+	EvGetIssued        = "get_issued"
+	EvGetSettled       = "get_settled"
+	EvChannelDialed    = "channel_dialed"
+	EvChannelRedialed  = "channel_redialed"
+	EvRetryConsumed    = "retry_consumed"
+	EvChunkRealloc     = "chunk_reallocated"
+	EvEnergySample     = "energy_sample"
+	EvEnergyModel      = "energy_model_sample"
+	EvSessionOpened    = "session_opened"
+	EvSessionClosed    = "session_closed"
+	EvGetServed        = "get_served"
+)
+
+// DefaultRingSize is how many recent events a Log retains for Tail.
+const DefaultRingSize = 1024
+
+// Log is a structured JSONL event log. Each event is one line:
+//
+//	{"seq":12,"t":"2026-08-06T10:00:00.123Z","type":"get_issued","file":"a.bin","length":1048576}
+//
+// Events always land in an in-memory ring (for the /events tail) and,
+// when the log was built over a writer, are appended to it as they
+// happen. Emit is safe for concurrent use; a nil *Log drops everything.
+type Log struct {
+	mu       sync.Mutex
+	now      Clock
+	w        io.Writer
+	ring     [][]byte
+	next     int
+	full     bool
+	seq      uint64
+	writeErr error
+}
+
+// NewLog returns a log retaining DefaultRingSize events, streaming each
+// event line to w when w is non-nil.
+func NewLog(w io.Writer) *Log {
+	return &Log{
+		now:  time.Now, //lint:allow nodeterm wall-clock default seam; SetClock injects a deterministic clock
+		w:    w,
+		ring: make([][]byte, DefaultRingSize),
+	}
+}
+
+// SetClock overrides the timestamp source (tests, deterministic runs).
+func (l *Log) SetClock(c Clock) {
+	if l == nil || c == nil {
+		return
+	}
+	l.mu.Lock()
+	l.now = c
+	l.mu.Unlock()
+}
+
+// Emit appends one event. kv is alternating key, value pairs; values
+// are JSON-marshalled (falling back to their string form when they
+// cannot be), keys keep their argument order so a given call site
+// always produces the same line shape.
+func (l *Log) Emit(typ string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"seq":%d,"t":%q,"type":%q`, l.seq, l.now().UTC().Format(time.RFC3339Nano), typ)
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok || key == "" {
+			continue
+		}
+		val, err := json.Marshal(kv[i+1])
+		if err != nil {
+			val, _ = json.Marshal(fmt.Sprint(kv[i+1]))
+		}
+		keyJSON, _ := json.Marshal(key)
+		b.WriteByte(',')
+		b.Write(keyJSON)
+		b.WriteByte(':')
+		b.Write(val)
+	}
+	b.WriteString("}\n")
+	line := append([]byte(nil), b.Bytes()...)
+	l.ring[l.next] = line
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	if l.w != nil {
+		if _, err := l.w.Write(line); err != nil && l.writeErr == nil {
+			l.writeErr = err
+		}
+	}
+}
+
+// Tail returns copies of the most recent n event lines in emission
+// order (each including its trailing newline). n <= 0 means all
+// retained events.
+func (l *Log) Tail(n int) [][]byte {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var lines [][]byte
+	if l.full {
+		lines = append(lines, l.ring[l.next:]...)
+	}
+	lines = append(lines, l.ring[:l.next]...)
+	if n > 0 && len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	out := make([][]byte, len(lines))
+	for i, line := range lines {
+		out[i] = append([]byte(nil), line...)
+	}
+	return out
+}
+
+// Seq returns how many events were ever emitted.
+func (l *Log) Seq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Err returns the first error the underlying writer produced, if any.
+func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeErr
+}

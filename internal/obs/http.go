@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the observability surface:
+//
+//	GET /metrics           expvar-style JSON snapshot of the registry
+//	GET /events?n=100      JSONL tail of the most recent events
+//
+// Either argument may be nil; the corresponding endpoint then serves an
+// empty snapshot or tail.
+func Handler(reg *Registry, log *Log) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		for _, line := range log.Tail(n) {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+	})
+	return mux
+}
+
+// HTTPServer is a running observability endpoint.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9632") and
+// returns once it is listening. Close the returned server to stop it.
+func Serve(addr string, reg *Registry, log *Log) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: Handler(reg, log)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,33 @@
+// Package obs is the transfer observability layer: a dependency-free
+// metrics registry (atomic counters, float gauges, windowed histograms
+// and labeled counter families) plus a structured JSONL event log and a
+// small HTTP surface (/metrics snapshot, /events tail) for live
+// inspection of real-TCP transfers.
+//
+// Design rules (DESIGN.md §8):
+//
+//   - Stdlib only. The package imports nothing from this repository, so
+//     every layer — proto, sched, monitor, the cmd tools — can depend on
+//     it without cycles, and scripts/lint.sh enforces the boundary.
+//
+//   - Write-only telemetry. Instrumented code pushes values in; nothing
+//     on the deterministic computation path ever reads a metric or an
+//     event back. That is what keeps a fully instrumented simulation
+//     run bit-identical to an uninstrumented one.
+//
+//   - Nil-safe. Every method on *Registry, *Counter, *Gauge,
+//     *Histogram, *Family and *Log is a no-op on a nil receiver, so
+//     instrumentation points never need `if reg != nil` guards and an
+//     uninstrumented hot path costs one predictable branch.
+//
+//   - Clock-disciplined. The registry itself is time-free (counters,
+//     gauges and count-windowed histograms need no clock). The event
+//     log stamps events from an injected Clock exactly like
+//     monitor.ModelSource; the wall-clock default is an annotated seam,
+//     and the nodeterm analyzer polices the rest of the package.
+package obs
+
+import "time"
+
+// Clock is the injectable time source, mirroring monitor.Clock.
+type Clock func() time.Time

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/obs"
 	"github.com/didclab/eta/internal/units"
 )
 
@@ -45,6 +46,44 @@ type Client struct {
 	// disables it there "to do fair comparison" because it costs
 	// throughput.
 	VerifyChecksums bool
+	// Metrics receives live client counters (bytes_received,
+	// gets_issued, ...); optional. Set before the first OpenChannel.
+	Metrics *obs.Registry
+	// Events receives structured transfer events; optional.
+	Events *obs.Log
+
+	instOnce sync.Once
+	inst     clientInstruments
+}
+
+// clientInstruments caches the client-side metrics so the per-block
+// receive path costs one nil check instead of a registry lookup.
+type clientInstruments struct {
+	bytesReceived  *obs.Counter
+	filesCompleted *obs.Counter
+	getsIssued     *obs.Counter
+	getsSettled    *obs.Counter
+	getsFailed     *obs.Counter
+	channelsDialed *obs.Counter
+	settleMS       *obs.Histogram
+}
+
+// instruments resolves the client's metric handles once; with no
+// Metrics registry every handle is nil and every update a no-op.
+func (c *Client) instruments() *clientInstruments {
+	c.instOnce.Do(func() {
+		r := c.Metrics
+		c.inst = clientInstruments{
+			bytesReceived:  r.Counter("bytes_received"),
+			filesCompleted: r.Counter("files_completed"),
+			getsIssued:     r.Counter("gets_issued"),
+			getsSettled:    r.Counter("gets_settled"),
+			getsFailed:     r.Counter("gets_failed"),
+			channelsDialed: r.Counter("channels_dialed"),
+			settleMS:       r.Histogram("get_settle_ms"),
+		}
+	})
+	return &c.inst
 }
 
 func (c *Client) dial() (net.Conn, error) {
@@ -109,6 +148,7 @@ type Channel struct {
 	ctrl   net.Conn
 	br     *bufio.Reader
 	sid    uint64
+	inst   *clientInstruments
 
 	streams []net.Conn
 
@@ -125,6 +165,7 @@ type pendingGet struct {
 	name     string
 	offset   int64
 	length   int64
+	issued   time.Time
 	sink     Sink
 	received atomic.Int64
 	ctrlDone chan struct{} // DONE/ERR line arrived
@@ -193,6 +234,7 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 		client:  c,
 		ctrl:    ctrl,
 		br:      bufio.NewReader(ctrl),
+		inst:    c.instruments(),
 		pending: make(map[uint32]*pendingGet),
 	}
 	if _, err := io.WriteString(ctrl, "HELLO\n"); err != nil {
@@ -240,6 +282,8 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 		ch.wg.Add(1)
 		go ch.streamLoop(s)
 	}
+	ch.inst.channelsDialed.Inc()
+	c.Events.Emit(obs.EvChannelDialed, "sid", sid, "parallelism", parallelism)
 	return ch, nil
 }
 
@@ -319,6 +363,7 @@ func (ch *Channel) streamLoop(conn net.Conn) {
 		if ch.client.Counters != nil {
 			ch.client.Counters.AddBytes(int64(h.Length))
 		}
+		ch.inst.bytesReceived.Add(int64(h.Length))
 		p.addBytes(int64(h.Length))
 	}
 }
@@ -362,6 +407,7 @@ func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
 		name:     r.File.Name,
 		offset:   int64(r.Offset),
 		length:   int64(r.Remaining()),
+		issued:   time.Now(),
 		sink:     sink,
 		ctrlDone: make(chan struct{}),
 		dataDone: make(chan struct{}),
@@ -379,6 +425,9 @@ func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
 		ch.mu.Unlock()
 		return nil, err
 	}
+	ch.inst.getsIssued.Inc()
+	ch.client.Events.Emit(obs.EvGetIssued,
+		"sid", ch.sid, "id", id, "file", r.File.Name, "offset", p.offset, "length", p.length)
 	return p, nil
 }
 
@@ -399,14 +448,21 @@ func (ch *Channel) finish(p *pendingGet) error {
 	<-p.dataDone
 	<-p.ctrlDone
 	ch.release(p)
-	if p.err != nil {
-		return p.err
+	err := p.err
+	if err == nil && ch.client.VerifyChecksums && p.length > 0 {
+		err = p.verifyChecksum()
 	}
-	if ch.client.VerifyChecksums && p.length > 0 {
-		if err := p.verifyChecksum(); err != nil {
-			return err
-		}
+	ms := float64(time.Since(p.issued)) / float64(time.Millisecond)
+	if err != nil {
+		ch.inst.getsFailed.Inc()
+		ch.client.Events.Emit(obs.EvGetSettled,
+			"sid", ch.sid, "file", p.name, "bytes", p.length, "ms", ms, "error", err.Error())
+		return err
 	}
+	ch.inst.getsSettled.Inc()
+	ch.inst.settleMS.Observe(ms)
+	ch.client.Events.Emit(obs.EvGetSettled,
+		"sid", ch.sid, "file", p.name, "bytes", p.length, "ms", ms)
 	return nil
 }
 
@@ -452,6 +508,7 @@ func (ch *Channel) FetchRanges(ranges []FileRange, pipelining int, sink Sink) (F
 		}
 		result.Files++
 		result.Bytes += units.Bytes(p.length)
+		ch.inst.filesCompleted.Inc()
 		if ch.client.Counters != nil {
 			ch.client.Counters.files.Add(1)
 		}

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/didclab/eta/internal/obs"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
 )
@@ -41,12 +43,25 @@ type Executor struct {
 	// the destination (from ResumeRanges); those bytes are skipped.
 	ResumeOffsets map[string]units.Bytes
 	// MaxRetries is how many times a file transfer is re-attempted
-	// after a transport failure (the channel is re-dialed each time).
+	// after a transport failure (the channel is re-dialed each time),
+	// and how many times a failed re-dial itself is re-attempted.
 	// Zero means failures are fatal.
 	MaxRetries int
 	// Label names the algorithm in reports.
 	Label string
+	// Metrics receives live counters (retries_total, channels_redialed,
+	// ...); optional. Propagated to the Client when its own Metrics is
+	// unset.
+	Metrics *obs.Registry
+	// Events receives the structured transfer event log; optional.
+	// Propagated to the Client when its own Events is unset.
+	Events *obs.Log
 }
+
+// redialBackoffCap bounds the exponential backoff between re-dial
+// attempts so a transient outage is probed frequently but a dead server
+// is not hammered.
+const redialBackoffCap = 200 * time.Millisecond
 
 // Env implements transfer.Executor.
 func (e *Executor) Env() transfer.Environment { return e.Environment }
@@ -75,6 +90,12 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 	if e.Client.Counters == nil {
 		e.Client.Counters = &Counters{}
 	}
+	if e.Client.Metrics == nil {
+		e.Client.Metrics = e.Metrics
+	}
+	if e.Client.Events == nil {
+		e.Client.Events = e.Events
+	}
 	s := &realSession{
 		exec:   e,
 		ctx:    ctx,
@@ -82,10 +103,12 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 		energy: energy,
 		start:  time.Now(),
 		doneCh: make(chan struct{}),
+		inst:   newExecInstruments(e.Metrics),
+		events: e.Events,
 	}
 	for i := range plan.Chunks {
 		cp := plan.Chunks[i]
-		rc := &realChunk{plan: cp}
+		rc := &realChunk{plan: cp, idx: i}
 		for _, f := range cp.Chunk.Files {
 			r := FileRange{File: f, Offset: e.ResumeOffsets[f.Name]}
 			if r.Remaining() == 0 {
@@ -116,12 +139,45 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 		s.stopAll()
 		return nil, err
 	}
+	s.inst.transfersStarted.Inc()
+	s.events.Emit(obs.EvTransferStarted,
+		"label", e.Label,
+		"chunks", len(s.chunks),
+		"bytes", int64(s.total),
+		"channels", plan.TotalChannels(),
+		"sequential", plan.Sequential)
 	return s, nil
+}
+
+// execInstruments caches the executor-side counters so hot paths skip
+// the registry's name lookup. All fields are nil (and their methods
+// no-ops) when no registry is configured.
+type execInstruments struct {
+	transfersStarted  *obs.Counter
+	transfersFinished *obs.Counter
+	retriesTotal      *obs.Counter
+	retriesByCause    *obs.Family
+	channelsRedialed  *obs.Counter
+	chunksRealloc     *obs.Counter
+	energyJoules      *obs.Gauge
+}
+
+func newExecInstruments(r *obs.Registry) execInstruments {
+	return execInstruments{
+		transfersStarted:  r.Counter("transfers_started"),
+		transfersFinished: r.Counter("transfers_finished"),
+		retriesTotal:      r.Counter("retries_total"),
+		retriesByCause:    r.Family("retries_by_cause", "cause"),
+		channelsRedialed:  r.Counter("channels_redialed"),
+		chunksRealloc:     r.Counter("chunks_reallocated"),
+		energyJoules:      r.Gauge("energy_joules_total"),
+	}
 }
 
 // realChunk is a chunk's shared work queue.
 type realChunk struct {
 	plan transfer.ChunkPlan
+	idx  int // position in the plan, for event labels
 
 	mu      sync.Mutex
 	queue   []queuedRange
@@ -181,6 +237,10 @@ func (c *realChunk) remainingBytes() units.Bytes {
 type realWorker struct {
 	chunk *realChunk
 	stop  chan struct{} // closed to ask the worker to drain and exit
+
+	// redials counts failed re-dial attempts, each consuming one unit
+	// of the executor's retry budget.
+	redials int
 }
 
 type realSession struct {
@@ -202,10 +262,29 @@ type realSession struct {
 	doneCh   chan struct{}
 	doneOnce sync.Once
 
+	inst    execInstruments
+	events  *obs.Log
+	retries atomic.Int64
+	files   atomic.Int64
+
 	lastBytes  units.Bytes
 	lastEnergy units.Joules
 	elapsed    time.Duration
 	samples    []transfer.Sample
+}
+
+// retryConsumed books one unit of retry budget: a failed GET, a window
+// requeue after a transport error, or a failed re-dial attempt.
+func (s *realSession) retryConsumed(cause, file string, attempt int, err error) {
+	s.retries.Add(1)
+	s.inst.retriesTotal.Inc()
+	s.inst.retriesByCause.With(cause).Inc()
+	s.events.Emit(obs.EvRetryConsumed,
+		"cause", cause,
+		"file", file,
+		"attempt", attempt,
+		"budget", s.exec.MaxRetries,
+		"error", fmt.Sprint(err))
 }
 
 // reconcile adjusts live workers per chunk to the target allocation.
@@ -270,10 +349,11 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 
 	// requeueWindow sends every outstanding range back for another
 	// attempt (or fails the session when one is out of retries).
-	requeueWindow := func() bool {
+	requeueWindow := func(cause error) bool {
 		ok := true
 		for _, f := range window {
 			f.q.attempts++
+			s.retryConsumed("transport", f.q.r.File.Name, f.q.attempts, cause)
 			if f.q.attempts > s.exec.MaxRetries {
 				ok = false
 				continue
@@ -283,21 +363,50 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 		window = window[:0]
 		return ok
 	}
-	// redial replaces a broken channel.
+	// redial replaces a broken channel. A transient OpenChannel failure
+	// does not fail the session while retry budget remains: each failed
+	// attempt consumes one unit of the budget and the next attempt waits
+	// a capped exponential backoff, so the worker rides out short
+	// listener outages.
 	redial := func(cause error) bool {
 		ch.Close()
 		ch = nil
-		if !requeueWindow() {
+		if !requeueWindow(cause) {
 			s.fail(fmt.Errorf("proto: transfer failed after %d retries: %w", s.exec.MaxRetries, cause))
 			return false
 		}
-		next, err := s.exec.Client.OpenChannel(maxI(1, w.chunk.plan.Parallelism()))
-		if err != nil {
-			s.fail(fmt.Errorf("proto: re-dialing after %v: %w", cause, err))
-			return false
+		backoff := 5 * time.Millisecond
+		for {
+			next, err := s.exec.Client.OpenChannel(maxI(1, w.chunk.plan.Parallelism()))
+			if err == nil {
+				ch = next
+				s.inst.channelsRedialed.Inc()
+				s.events.Emit(obs.EvChannelRedialed,
+					"chunk", w.chunk.idx,
+					"failed_attempts", w.redials,
+					"cause", fmt.Sprint(cause))
+				return true
+			}
+			w.redials++
+			s.retryConsumed("redial", "", w.redials, err)
+			if w.redials > s.exec.MaxRetries {
+				s.fail(fmt.Errorf("proto: re-dialing after %v: %w", cause, err))
+				return false
+			}
+			select {
+			case <-w.stop:
+				// Teardown while the server is unreachable: the window
+				// is already requeued for other workers; just exit.
+				return false
+			case <-s.ctxDone():
+				s.fail(s.ctx.Err())
+				return false
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > redialBackoffCap {
+				backoff = redialBackoffCap
+			}
 		}
-		ch = next
-		return true
 	}
 	// settle waits for the oldest request; a failure triggers the
 	// retry path and reports whether the worker should continue.
@@ -312,6 +421,9 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 			s.fail(err)
 			return false
 		}
+		s.files.Add(1)
+		s.exec.Client.Counters.files.Add(1)
+		s.exec.Client.instruments().filesCompleted.Inc()
 		s.addCompleted(units.Bytes(f.p.length))
 		return true
 	}
@@ -345,6 +457,7 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 			p, err := ch.get(q.r, s.exec.Sink)
 			if err != nil {
 				q.attempts++
+				s.retryConsumed("get", q.r.File.Name, q.attempts, err)
 				if q.attempts > s.exec.MaxRetries {
 					s.fail(fmt.Errorf("proto: issuing GET failed after %d retries: %w", s.exec.MaxRetries, err))
 					return
@@ -365,8 +478,11 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 				return
 			}
 			s.mu.Lock()
+			from := w.chunk.idx
 			w.chunk = next
 			s.mu.Unlock()
+			s.inst.chunksRealloc.Inc()
+			s.events.Emit(obs.EvChunkRealloc, "from_chunk", from, "to_chunk", next.idx)
 			continue
 		}
 		if !issued || len(window) >= pipe {
@@ -482,6 +598,13 @@ func (s *realSession) Advance(d time.Duration) (transfer.Sample, error) {
 	s.lastBytes = bytes
 	s.lastEnergy = energy
 	s.samples = append(s.samples, sample)
+	s.inst.energyJoules.Set(float64(energy))
+	s.events.Emit(obs.EvEnergySample,
+		"window_ms", sample.Duration.Milliseconds(),
+		"bytes", int64(sample.Bytes),
+		"joules", float64(sample.EndSystemEnergy),
+		"mbps", sample.Throughput.Mbit(),
+		"channels", sample.ActiveChannels)
 	if err := s.err(); err != nil {
 		return transfer.Sample{}, err
 	}
@@ -492,6 +615,15 @@ func (s *realSession) err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.firstErr
+}
+
+// ctxDone returns the session context's done channel (nil — blocking
+// forever — when the session was started without a context).
+func (s *realSession) ctxDone() <-chan struct{} {
+	if s.ctx == nil {
+		return nil
+	}
+	return s.ctx.Done()
 }
 
 func (s *realSession) liveWorkers() int {
@@ -586,16 +718,29 @@ func (s *realSession) Finish() (transfer.Report, error) {
 	s.mu.Lock()
 	s.finished = true
 	s.mu.Unlock()
-	return transfer.Report{
+	r := transfer.Report{
 		Algorithm:       s.exec.Label,
 		Testbed:         s.exec.Client.Addr,
 		Duration:        duration,
 		Bytes:           bytes,
 		Throughput:      units.RateOf(bytes, duration),
+		Files:           s.files.Load(),
+		Retries:         s.retries.Load(),
 		EndSystemEnergy: energy,
 		AvgPower:        units.Power(energy, duration),
 		Samples:         s.samples,
-	}, nil
+	}
+	s.inst.transfersFinished.Inc()
+	s.inst.energyJoules.Set(float64(energy))
+	s.events.Emit(obs.EvTransferFinished,
+		"label", s.exec.Label,
+		"bytes", int64(r.Bytes),
+		"files", r.Files,
+		"retries", r.Retries,
+		"duration_ms", duration.Milliseconds(),
+		"mbps", r.Throughput.Mbit(),
+		"joules", float64(energy))
+	return r, nil
 }
 
 func (s *realSession) stopAll() {

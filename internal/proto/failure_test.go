@@ -9,18 +9,21 @@ import (
 	"time"
 
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/obs"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
 )
 
 // chaosProxy forwards TCP to a backend and can kill every live
 // connection on demand — the failure-injection harness for transport
-// resilience tests.
+// resilience tests. stop/restart model a full outage: while stopped,
+// even new dials fail.
 type chaosProxy struct {
-	ln      net.Listener
-	backend string
+	backend  string
+	listenAt string
 
 	mu    sync.Mutex
+	ln    net.Listener
 	conns []net.Conn
 	wg    sync.WaitGroup
 }
@@ -31,17 +34,43 @@ func newChaosProxy(t *testing.T, backend string) *chaosProxy {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &chaosProxy{ln: ln, backend: backend}
-	go p.acceptLoop()
+	p := &chaosProxy{backend: backend, listenAt: ln.Addr().String(), ln: ln}
+	go p.acceptLoop(ln)
 	t.Cleanup(func() { p.close() })
 	return p
 }
 
-func (p *chaosProxy) addr() string { return p.ln.Addr().String() }
+func (p *chaosProxy) addr() string { return p.listenAt }
 
-func (p *chaosProxy) acceptLoop() {
+// stop closes the listener and severs every live connection; until
+// restart, dials to the proxy fail outright.
+func (p *chaosProxy) stop() {
+	p.mu.Lock()
+	ln := p.ln
+	p.ln = nil
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	p.killAll()
+}
+
+// restart re-binds the proxy's original address after a stop.
+func (p *chaosProxy) restart(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", p.listenAt)
+	if err != nil {
+		t.Fatalf("chaosProxy restart: %v", err)
+	}
+	p.mu.Lock()
+	p.ln = ln
+	p.mu.Unlock()
+	go p.acceptLoop(ln)
+}
+
+func (p *chaosProxy) acceptLoop(ln net.Listener) {
 	for {
-		client, err := p.ln.Accept()
+		client, err := ln.Accept()
 		if err != nil {
 			return
 		}
@@ -78,8 +107,7 @@ func (p *chaosProxy) killAll() {
 }
 
 func (p *chaosProxy) close() {
-	p.ln.Close()
-	p.killAll()
+	p.stop()
 	p.wg.Wait()
 }
 
@@ -126,6 +154,60 @@ func TestExecutorSurvivesConnectionKill(t *testing.T) {
 	}
 	if bad := sink.Corrupt(); len(bad) > 0 {
 		t.Errorf("corruption after retries: %v", bad)
+	}
+}
+
+func TestExecutorRedialsThroughOutage(t *testing.T) {
+	// Kill the listener itself, not just the connections: every re-dial
+	// fails until the proxy comes back. The executor must keep retrying
+	// within its budget (the original code gave up on the first failed
+	// re-dial) and complete once service is restored.
+	ds := dataset.NewGenerator(52).Uniform(24, 400*units.KB)
+	srv := synthServer(t, ds, func(c *ServerConfig) {
+		c.PerStreamRate = 60 * units.Mbps
+	})
+	proxy := newChaosProxy(t, srv.Addr())
+
+	reg := obs.NewRegistry()
+	sink := NewVerifySink()
+	exec := &Executor{
+		Client:      &Client{Addr: proxy.addr(), Counters: &Counters{}, VerifyChecksums: true},
+		Sink:        sink,
+		Environment: testEnv(),
+		MaxRetries:  16,
+		Metrics:     reg,
+		Events:      obs.NewLog(nil),
+	}
+	chunk := dataset.Chunk{Class: dataset.Large, Files: ds.Files, Parallelism: 2, Pipelining: 3}
+	sess, err := exec.Start(context.Background(), planForChunk(chunk, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	proxy.stop()
+	// Long enough that re-dials fail repeatedly (backoff starts at 5 ms),
+	// short enough that the 16-attempt budget cannot be exhausted.
+	time.Sleep(250 * time.Millisecond)
+	proxy.restart(t)
+
+	r, err := sess.Finish()
+	if err != nil {
+		t.Fatalf("transfer did not survive the outage: %v", err)
+	}
+	if r.Retries == 0 {
+		t.Error("no retries recorded across a full outage")
+	}
+	if got := reg.Snapshot().Counters["retries_total"]; got != r.Retries {
+		t.Errorf("retries_total = %d, report says %d", got, r.Retries)
+	}
+	for _, f := range ds.Files {
+		if got := sink.BytesFor(f.Name); got < int64(f.Size) {
+			t.Errorf("%s incomplete after outage: %d of %d", f.Name, got, f.Size)
+		}
+	}
+	if bad := sink.Corrupt(); len(bad) > 0 {
+		t.Errorf("corruption after outage: %v", bad)
 	}
 }
 

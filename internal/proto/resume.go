@@ -45,7 +45,9 @@ func ResumeRanges(root string, files []dataset.File) ([]FileRange, units.Bytes, 
 	var skipped units.Bytes
 	for _, f := range files {
 		clean := filepath.Clean(filepath.FromSlash(f.Name))
-		if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		// Only a leading ".." *path element* escapes the root; a name
+		// that merely starts with two dots ("..config") is legitimate.
+		if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) || filepath.IsAbs(clean) {
 			return nil, 0, fmt.Errorf("proto: path %q escapes destination root", f.Name)
 		}
 		info, err := os.Stat(filepath.Join(root, clean))

@@ -58,8 +58,39 @@ func TestResumeRangesPlanning(t *testing.T) {
 }
 
 func TestResumeRangesRejectsEscapes(t *testing.T) {
-	if _, _, err := ResumeRanges(t.TempDir(), []dataset.File{{Name: "../evil", Size: 1}}); err == nil {
-		t.Error("path escape accepted")
+	for _, name := range []string{
+		"../evil",
+		"..",
+		"a/../../evil",
+		"/abs/evil",
+	} {
+		if _, _, err := ResumeRanges(t.TempDir(), []dataset.File{{Name: name, Size: 1}}); err == nil {
+			t.Errorf("path escape %q accepted", name)
+		}
+	}
+}
+
+func TestResumeRangesAcceptsDotPrefixedNames(t *testing.T) {
+	// A name that merely *starts* with two dots is a legitimate file, not
+	// an escape: only a leading ".." path element leaves the root.
+	root := t.TempDir()
+	files := []dataset.File{
+		{Name: "..config", Size: 100},
+		{Name: "..d/file.bin", Size: 50},
+	}
+	if err := os.WriteFile(filepath.Join(root, "..config"), make([]byte, 40), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ranges, skipped, err := ResumeRanges(root, files)
+	if err != nil {
+		t.Fatalf("dot-prefixed names rejected: %v", err)
+	}
+	if skipped != 40 {
+		t.Errorf("skipped = %v, want 40", skipped)
+	}
+	if len(ranges) != 2 || ranges[0].File.Name != "..config" || ranges[0].Offset != 40 ||
+		ranges[1].File.Name != "..d/file.bin" || ranges[1].Offset != 0 {
+		t.Errorf("resume plan wrong: %+v", ranges)
 	}
 }
 

@@ -11,12 +11,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/didclab/eta/internal/obs"
 	"github.com/didclab/eta/internal/units"
 )
 
 // ServerConfig shapes a transfer server.
 type ServerConfig struct {
 	Store Store
+	// Metrics receives live server counters (server_bytes_served,
+	// server_sessions_total, ...); optional.
+	Metrics *obs.Registry
+	// Events receives structured server events (session_opened,
+	// get_served, ...); optional.
+	Events *obs.Log
 	// PerStreamRate caps each data stream (the stand-in for the TCP
 	// window limit); zero means unlimited.
 	PerStreamRate units.Rate
@@ -61,6 +68,7 @@ type Server struct {
 	cfg  ServerConfig
 	ln   net.Listener
 	link *Limiter
+	inst serverInstruments
 
 	bytesServed   atomic.Int64
 	requestsDone  atomic.Int64
@@ -98,6 +106,16 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// serverInstruments caches the server-side metric handles (nil and
+// no-op without a registry).
+type serverInstruments struct {
+	sessionsTotal  *obs.Counter
+	requestsServed *obs.Counter
+	requestsFailed *obs.Counter
+	bytesServed    *obs.Counter
+	serveMS        *obs.Histogram
+}
+
 // Serve starts a server on ln. Close the server to stop it.
 func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	if cfg.Store == nil {
@@ -108,6 +126,13 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		ln:       ln,
 		link:     NewLimiter(cfg.LinkRate),
 		sessions: make(map[uint64]*serverSession),
+		inst: serverInstruments{
+			sessionsTotal:  cfg.Metrics.Counter("server_sessions_total"),
+			requestsServed: cfg.Metrics.Counter("server_requests_served"),
+			requestsFailed: cfg.Metrics.Counter("server_requests_failed"),
+			bytesServed:    cfg.Metrics.Counter("server_bytes_served"),
+			serveMS:        cfg.Metrics.Histogram("server_get_serve_ms"),
+		},
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -236,12 +261,15 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 	}
 	s.sessions[sess.sid] = sess
 	s.mu.Unlock()
+	s.inst.sessionsTotal.Inc()
+	s.cfg.Events.Emit(obs.EvSessionOpened, "sid", sess.sid, "remote", conn.RemoteAddr().String())
 
 	defer func() {
 		s.mu.Lock()
 		delete(s.sessions, sess.sid)
 		s.mu.Unlock()
 		sess.close()
+		s.cfg.Events.Emit(obs.EvSessionClosed, "sid", sess.sid)
 	}()
 
 	sess.send("%s %d\n", respOK, sess.sid)
@@ -256,11 +284,9 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 			sess.send("%s %d request queue overflow\n", respErr, r.ID)
 		}
 	})
-	defer reqQueue.Close()
 	doneQueue := newDelayQueue(s.cfg.ControlRTT/2, 1024, func(line string) {
 		sess.sendRaw(line)
 	})
-	defer doneQueue.Close()
 
 	var serveWG sync.WaitGroup
 	serveWG.Add(1)
@@ -268,8 +294,17 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 		defer serveWG.Done()
 		sess.serveLoop(doneQueue)
 	}()
-	defer serveWG.Wait()
-	defer close(sess.reqs)
+	// Teardown order matters: the request queue must be fully drained
+	// (delayed GETs land in sess.reqs or are dropped) before sess.reqs
+	// closes, otherwise a delayed delivery would send on a closed
+	// channel; completions flush last so settled GETs still get their
+	// DONE lines.
+	defer func() {
+		reqQueue.Close()
+		close(sess.reqs)
+		serveWG.Wait()
+		doneQueue.Close()
+	}()
 
 	for {
 		verb, fields, err := readLine(br)
@@ -394,10 +429,19 @@ func (sess *serverSession) streams() []net.Conn {
 // ones more than the striping requires.
 func (sess *serverSession) serveLoop(doneQueue *delayQueue[string]) {
 	for req := range sess.reqs {
+		start := time.Now()
 		if err := sess.serveGet(req, doneQueue); err != nil {
 			sess.srv.cfg.logf("proto: session %d GET %d (%s): %v", sess.sid, req.ID, req.Name, err)
+			sess.srv.inst.requestsFailed.Inc()
+			sess.srv.cfg.Events.Emit(obs.EvGetServed,
+				"sid", sess.sid, "id", req.ID, "file", req.Name, "error", err.Error())
 			doneQueue.Push(fmt.Sprintf("%s %d %v\n", respErr, req.ID, err))
+			continue
 		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		sess.srv.inst.serveMS.Observe(ms)
+		sess.srv.cfg.Events.Emit(obs.EvGetServed,
+			"sid", sess.sid, "id", req.ID, "file", req.Name, "bytes", req.Length, "ms", ms)
 	}
 }
 
@@ -485,6 +529,8 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 	}
 	sess.srv.requestsDone.Add(1)
 	sess.srv.bytesServed.Add(req.Length)
+	sess.srv.inst.requestsServed.Inc()
+	sess.srv.inst.bytesServed.Add(req.Length)
 	doneQueue.Push(fmt.Sprintf("%s %d %d\n", respDone, req.ID, crc.Sum32()))
 	return nil
 }

@@ -90,10 +90,21 @@ func (s shapedWriter) Write(p []byte) (int, error) {
 // delayQueue delivers items a fixed delay after they are pushed,
 // preserving order — the propagation-delay model for control-channel
 // messages. A zero delay passes items through synchronously.
+//
+// Close and Push may race freely: a Push that observes the queue
+// closed drops its item instead of sending on a closed channel, and
+// Close waits out any Push already committed to sending before it
+// closes the channel — so shaped-channel teardown can never panic the
+// server.
 type delayQueue[T any] struct {
 	delay time.Duration
 	ch    chan delayed[T]
 	out   func(T)
+	done  chan struct{} // closed when the delivery goroutine exits
+
+	mu      sync.Mutex
+	closed  bool
+	pushers sync.WaitGroup // Pushes past the closed check, not yet sent
 }
 
 type delayed[T any] struct {
@@ -107,7 +118,9 @@ func newDelayQueue[T any](delay time.Duration, capacity int, out func(T)) *delay
 	q := &delayQueue[T]{delay: delay, out: out}
 	if delay > 0 {
 		q.ch = make(chan delayed[T], capacity)
+		q.done = make(chan struct{})
 		go func() {
+			defer close(q.done)
 			for d := range q.ch {
 				if wait := time.Until(d.due); wait > 0 {
 					time.Sleep(wait)
@@ -119,19 +132,47 @@ func newDelayQueue[T any](delay time.Duration, capacity int, out func(T)) *delay
 	return q
 }
 
-// Push enqueues an item for delivery after the queue's delay.
+// Push enqueues an item for delivery after the queue's delay. Pushes
+// after Close drop the item.
 func (q *delayQueue[T]) Push(item T) {
 	if q.delay <= 0 {
-		q.out(item)
+		q.mu.Lock()
+		closed := q.closed
+		q.mu.Unlock()
+		if !closed {
+			q.out(item)
+		}
 		return
 	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.pushers.Add(1)
+	q.mu.Unlock()
 	q.ch <- delayed[T]{due: time.Now().Add(q.delay), item: item}
+	q.pushers.Done()
 }
 
-// Close stops the delivery goroutine. Items already queued are still
-// delivered.
+// Close stops the queue. Items already queued are still delivered;
+// Close returns once the delivery goroutine has drained them, so after
+// Close the out callback will never run again. Idempotent.
 func (q *delayQueue[T]) Close() {
-	if q.ch != nil {
-		close(q.ch)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		if q.done != nil {
+			<-q.done
+		}
+		return
 	}
+	q.closed = true
+	q.mu.Unlock()
+	if q.ch == nil {
+		return
+	}
+	q.pushers.Wait()
+	close(q.ch)
+	<-q.done
 }

@@ -1,0 +1,100 @@
+package proto
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDelayQueueDeliversInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	q := newDelayQueue(time.Millisecond, 16, func(v int) {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	})
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	q.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery order wrong: %v", got)
+		}
+	}
+}
+
+func TestDelayQueuePushAfterCloseDrops(t *testing.T) {
+	var delivered atomic.Int64
+	q := newDelayQueue(time.Millisecond, 4, func(int) { delivered.Add(1) })
+	q.Push(1)
+	q.Close()
+	// Must not panic, must not deliver.
+	q.Push(2)
+	q.Push(3)
+	if n := delivered.Load(); n != 1 {
+		t.Errorf("delivered %d items, want 1", n)
+	}
+
+	// Zero-delay (synchronous) variant.
+	var sync0 atomic.Int64
+	q0 := newDelayQueue(0, 0, func(int) { sync0.Add(1) })
+	q0.Push(1)
+	q0.Close()
+	q0.Push(2)
+	if n := sync0.Load(); n != 1 {
+		t.Errorf("zero-delay queue delivered %d items, want 1", n)
+	}
+}
+
+func TestDelayQueueCloseIdempotent(t *testing.T) {
+	q := newDelayQueue(time.Millisecond, 4, func(int) {})
+	q.Push(1)
+	q.Close()
+	q.Close() // second Close must not panic or hang
+}
+
+func TestDelayQueueConcurrentPushClose(t *testing.T) {
+	// Hammer Push from many goroutines while Close races them: no send
+	// on a closed channel, no delivery after Close returns. Run with
+	// -race to catch the original teardown panic.
+	for round := 0; round < 50; round++ {
+		var delivered atomic.Int64
+		q := newDelayQueue(100*time.Microsecond, 2, func(int) { delivered.Add(1) })
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					q.Push(i)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			q.Close()
+		}()
+		close(start)
+		wg.Wait()
+		q.Close()
+		final := delivered.Load()
+		// After Close has returned, the out callback must never fire
+		// again — a late delivery here means drain-on-Close is broken.
+		time.Sleep(2 * time.Millisecond)
+		if got := delivered.Load(); got != final {
+			t.Fatalf("round %d: delivery after Close (%d -> %d)", round, final, got)
+		}
+	}
+}

@@ -17,7 +17,21 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"github.com/didclab/eta/internal/obs"
 )
+
+// metrics is the process-wide registry pool counters are written to.
+// Telemetry is strictly write-only — no pool decision ever reads it —
+// so instrumented runs stay bit-identical to uninstrumented ones.
+var metrics atomic.Pointer[obs.Registry]
+
+// SetMetrics installs (or, with nil, removes) the registry that pool
+// activity counters are recorded in.
+func SetMetrics(r *obs.Registry) { metrics.Store(r) }
+
+func counter(name string) *obs.Counter { return metrics.Load().Counter(name) }
 
 // Pool runs tasks on a bounded set of workers.
 //
@@ -60,9 +74,13 @@ func (p *Pool) Go(fn func(ctx context.Context) error) {
 	go func() {
 		defer p.wg.Done()
 		defer func() { <-p.sem }()
+		counter("sched_tasks_started").Inc()
 		if err := fn(p.ctx); err != nil {
+			counter("sched_tasks_failed").Inc()
 			p.fail(err)
+			return
 		}
+		counter("sched_tasks_completed").Inc()
 	}()
 }
 

@@ -195,6 +195,13 @@ type Report struct {
 	Bytes      units.Bytes
 	Throughput units.Rate
 
+	// Files counts files completed at the destination and Retries
+	// counts retry-budget consumptions (failed GETs, re-dial attempts).
+	// Filled by the real-TCP executor; simulated runs report per-chunk
+	// completion in Chunks instead.
+	Files   int64
+	Retries int64
+
 	EndSystemEnergy units.Joules
 	NetworkEnergy   units.Joules
 	AvgPower        units.Watts

@@ -17,6 +17,17 @@ go vet ./...
 echo "== go vet -vettool (mapfloatsum, nodeterm, bufown, nakedgo)"
 go vet -vettool="$tmp/vettool" ./...
 
+echo "== obs dependency audit (stdlib only)"
+# The telemetry package must stay dependency-free so every layer can
+# import it without cycles; fail if it grows a non-stdlib dependency.
+bad_deps="$(go list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./internal/obs \
+    | grep -v '^$' | grep -v '^github.com/didclab/eta/internal/obs$' || true)"
+if [ -n "$bad_deps" ]; then
+    echo "internal/obs must only depend on the stdlib, found:" >&2
+    echo "$bad_deps" >&2
+    exit 1
+fi
+
 echo "== gofmt"
 # testdata fixtures are excluded: they are analyzer inputs, not code.
 unformatted="$(find . -name '*.go' -not -path '*/testdata/*' -not -path './.git/*' -print0 | xargs -0 gofmt -l)"
