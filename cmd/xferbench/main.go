@@ -36,15 +36,16 @@ func main() {
 	pipelining := flag.Int("pipelining", 2, "fixed pipelining when sweeping another parameter")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 	eventsOut := flag.String("events", "", "append the JSONL event log to this file as the sweep runs")
+	stallTimeout := flag.Duration("stall-timeout", 0, "fail a channel whose pending requests see no bytes for this long (0 disables the watchdog)")
 	flag.Parse()
 
-	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut); err != nil {
+	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "xferbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string) error {
+func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration) error {
 	values, err := parseValues(valuesStr)
 	if err != nil {
 		return err
@@ -54,7 +55,7 @@ func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metr
 		return err
 	}
 
-	client := &proto.Client{Addr: server}
+	client := &proto.Client{Addr: server, StallTimeout: stallTimeout}
 	if metricsOut != "" || eventsOut != "" {
 		reg := obs.NewRegistry()
 		var events *obs.Log

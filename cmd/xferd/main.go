@@ -34,12 +34,14 @@ func main() {
 	rtt := flag.Duration("rtt", 0, "emulated control-channel RTT")
 	block := flag.Int("block", proto.DefaultBlockSize, "striping block size in bytes")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /events on this address (e.g. :7633)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "tear down sessions whose control/data writes stall this long (0 disables)")
 	flag.Parse()
 
 	cfg := proto.ServerConfig{
-		ControlRTT: *rtt,
-		BlockSize:  *block,
-		Logf:       log.Printf,
+		ControlRTT:   *rtt,
+		BlockSize:    *block,
+		StallTimeout: *stallTimeout,
+		Logf:         log.Printf,
 	}
 	if *metricsAddr != "" {
 		cfg.Metrics = obs.NewRegistry()

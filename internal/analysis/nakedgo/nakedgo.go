@@ -26,6 +26,9 @@ var AllowedPaths = []string{
 	"internal/proto",
 	"internal/netem",
 	"internal/obs",
+	// chaos pipes per-connection forwarding loops and outage-restore
+	// timers; all of them join through the proxy's WaitGroup on Close.
+	"internal/chaos",
 }
 
 // Analyzer is the nakedgo instance wired into cmd/vettool.

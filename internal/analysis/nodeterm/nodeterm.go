@@ -38,6 +38,10 @@ var DeterministicPaths = []string{
 	// event logs that deterministic tests replay — so it must route all
 	// time reads through its injected Clock seam.
 	"internal/obs",
+	// chaos exists so fault schedules replay identically: no wall-clock
+	// reads, no global RNG — faults trigger on byte offsets and any
+	// seeded randomness flows through rand.New(rand.NewSource(seed)).
+	"internal/chaos",
 }
 
 // timeFuncs are the wall-clock readers banned in deterministic code.

@@ -25,6 +25,7 @@ func TestRepoPathsCovered(t *testing.T) {
 		"github.com/didclab/eta/internal/power",
 		"github.com/didclab/eta/internal/endsys",
 		"github.com/didclab/eta/internal/dataset",
+		"github.com/didclab/eta/internal/chaos",
 		"github.com/didclab/eta/internal/core_test",
 		"github.com/didclab/eta/internal/core [github.com/didclab/eta/internal/core.test]",
 	} {

@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestValidateRejectsMalformedSchedules(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []Step
+	}{
+		{"unknown kind", []Step{{Conn: 0, At: 10, Kind: "meteor"}}},
+		{"negative conn", []Step{{Conn: -1, At: 10, Kind: Reset}}},
+		{"negative offset", []Step{{Conn: 0, At: -5, Kind: Reset}}},
+		{"stall without duration", []Step{{Conn: 0, At: 10, Kind: Stall}}},
+		{"latency without duration", []Step{{Conn: 0, At: 10, Kind: Latency}}},
+	}
+	for _, tc := range cases {
+		if err := Validate(tc.steps); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateAcceptsEveryKind(t *testing.T) {
+	var steps []Step
+	for _, k := range Kinds {
+		steps = append(steps, Step{Conn: 1, At: 100, Kind: k, Duration: 10 * time.Millisecond})
+	}
+	if err := Validate(steps); err != nil {
+		t.Fatalf("well-formed schedule rejected: %v", err)
+	}
+	if err := Validate(nil); err != nil {
+		t.Fatalf("empty schedule rejected: %v", err)
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	a := SeededSchedule(42, 20, 4, 1<<20)
+	b := SeededSchedule(42, 20, 4, 1<<20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := SeededSchedule(43, 20, 4, 1<<20)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestSeededScheduleRespectsBounds(t *testing.T) {
+	steps := SeededSchedule(7, 50, 3, 4096)
+	if len(steps) != 50 {
+		t.Fatalf("got %d steps, want 50", len(steps))
+	}
+	if err := Validate(steps); err != nil {
+		t.Fatalf("seeded schedule invalid: %v", err)
+	}
+	for i, s := range steps {
+		if s.Conn < 0 || s.Conn >= 3 {
+			t.Errorf("step %d: conn %d outside [0,3)", i, s.Conn)
+		}
+		if s.At < 0 || s.At >= 4096 {
+			t.Errorf("step %d: offset %d outside [0,4096)", i, s.At)
+		}
+		if s.Kind == Blackhole || s.Kind == Outage {
+			t.Errorf("step %d: seeded schedule drew %s", i, s.Kind)
+		}
+		if s.Duration < 5*time.Millisecond || s.Duration >= 55*time.Millisecond {
+			t.Errorf("step %d: duration %v outside [5ms,55ms)", i, s.Duration)
+		}
+	}
+	if SeededSchedule(1, 0, 3, 100) != nil || SeededSchedule(1, 5, 0, 100) != nil || SeededSchedule(1, 5, 3, 0) != nil {
+		t.Error("degenerate parameters should yield a nil schedule")
+	}
+}
+
+func TestSortStepsIsStableByConnThenOffset(t *testing.T) {
+	steps := []Step{
+		{Conn: 1, At: 50, Kind: Reset},
+		{Conn: 0, At: 90, Kind: Stall, Duration: time.Millisecond},
+		{Conn: 1, At: 10, Kind: Corrupt},
+		{Conn: 0, At: 90, Kind: Latency, Duration: time.Millisecond}, // same (conn,at): authored order kept
+		{Conn: 0, At: 20, Kind: Partial},
+	}
+	sortSteps(steps)
+	want := []Step{
+		{Conn: 0, At: 20, Kind: Partial},
+		{Conn: 0, At: 90, Kind: Stall, Duration: time.Millisecond},
+		{Conn: 0, At: 90, Kind: Latency, Duration: time.Millisecond},
+		{Conn: 1, At: 10, Kind: Corrupt},
+		{Conn: 1, At: 50, Kind: Reset},
+	}
+	if !reflect.DeepEqual(steps, want) {
+		t.Fatalf("sorted = %+v", steps)
+	}
+}

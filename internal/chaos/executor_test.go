@@ -1,126 +1,88 @@
-package proto
+package chaos_test
 
 import (
+	"bytes"
 	"context"
-	"io"
-	"net"
-	"sync"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"github.com/didclab/eta/internal/chaos"
 	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/netem"
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/proto"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
 )
 
-// chaosProxy forwards TCP to a backend and can kill every live
-// connection on demand — the failure-injection harness for transport
-// resilience tests. stop/restart model a full outage: while stopped,
-// even new dials fail.
-type chaosProxy struct {
-	backend  string
-	listenAt string
-
-	mu    sync.Mutex
-	ln    net.Listener
-	conns []net.Conn
-	wg    sync.WaitGroup
-}
-
-func newChaosProxy(t *testing.T, backend string) *chaosProxy {
+// synthServer starts a transfer server over a synthetic dataset — the
+// backend every chaos proxy in this package fronts.
+func synthServer(t *testing.T, ds dataset.Dataset, mutate func(*proto.ServerConfig)) *proto.Server {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	cfg := proto.ServerConfig{Store: proto.NewSynthStore(ds), Logf: t.Logf}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := proto.ListenAndServe("127.0.0.1:0", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &chaosProxy{backend: backend, listenAt: ln.Addr().String(), ln: ln}
-	go p.acceptLoop(ln)
-	t.Cleanup(func() { p.close() })
-	return p
+	t.Cleanup(func() { srv.Close() })
+	return srv
 }
 
-func (p *chaosProxy) addr() string { return p.listenAt }
-
-// stop closes the listener and severs every live connection; until
-// restart, dials to the proxy fail outright.
-func (p *chaosProxy) stop() {
-	p.mu.Lock()
-	ln := p.ln
-	p.ln = nil
-	p.mu.Unlock()
-	if ln != nil {
-		ln.Close()
+// testEnv describes the loopback path for the executor's environment.
+func testEnv() transfer.Environment {
+	return transfer.Environment{
+		Path: netem.Path{
+			Bandwidth:       1 * units.Gbps,
+			RTT:             10 * time.Millisecond,
+			MaxTCPBuffer:    4 * units.MB,
+			EffStreamBuffer: 256 * units.KB,
+		},
+		MaxChannels:    8,
+		ServersPerSite: 1,
 	}
-	p.killAll()
 }
 
-// restart re-binds the proxy's original address after a stop.
-func (p *chaosProxy) restart(t *testing.T) {
+func planForChunk(chunk dataset.Chunk, channels int) transfer.Plan {
+	return transfer.Plan{
+		Chunks: []transfer.ChunkPlan{{Chunk: chunk, Channels: channels, Weight: 1, AcceptRealloc: true}},
+	}
+}
+
+// assertContent proves byte-identical delivery: every file in the sink
+// directory must equal its canonical synthetic content exactly — not
+// just "enough bytes arrived", but the same bytes, in their final
+// post-retry state.
+func assertContent(t *testing.T, dir string, ds dataset.Dataset) {
 	t.Helper()
-	ln, err := net.Listen("tcp", p.listenAt)
-	if err != nil {
-		t.Fatalf("chaosProxy restart: %v", err)
-	}
-	p.mu.Lock()
-	p.ln = ln
-	p.mu.Unlock()
-	go p.acceptLoop(ln)
-}
-
-func (p *chaosProxy) acceptLoop(ln net.Listener) {
-	for {
-		client, err := ln.Accept()
+	for _, f := range ds.Files {
+		got, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(f.Name)))
 		if err != nil {
-			return
-		}
-		server, err := net.Dial("tcp", p.backend)
-		if err != nil {
-			client.Close()
+			t.Errorf("%s never delivered: %v", f.Name, err)
 			continue
 		}
-		p.mu.Lock()
-		p.conns = append(p.conns, client, server)
-		p.mu.Unlock()
-		p.wg.Add(2)
-		go p.pipe(client, server)
-		go p.pipe(server, client)
+		want := make([]byte, f.Size)
+		proto.FillSynth(f.Name, 0, want)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: delivered content differs from source (%d vs %d bytes)", f.Name, len(got), len(want))
+		}
 	}
-}
-
-func (p *chaosProxy) pipe(dst, src net.Conn) {
-	defer p.wg.Done()
-	_, _ = io.Copy(dst, src)
-	dst.Close()
-	src.Close()
-}
-
-// killAll severs every live connection (both directions).
-func (p *chaosProxy) killAll() {
-	p.mu.Lock()
-	conns := p.conns
-	p.conns = nil
-	p.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
-	}
-}
-
-func (p *chaosProxy) close() {
-	p.stop()
-	p.wg.Wait()
 }
 
 func TestExecutorSurvivesConnectionKill(t *testing.T) {
 	ds := dataset.NewGenerator(50).Uniform(30, 400*units.KB)
-	srv := synthServer(t, ds, func(c *ServerConfig) {
+	srv := synthServer(t, ds, func(c *proto.ServerConfig) {
 		c.PerStreamRate = 60 * units.Mbps // slow enough that the kill lands mid-flight
 	})
-	proxy := newChaosProxy(t, srv.Addr())
+	proxy := newProxy(t, srv.Addr(), chaos.Options{})
 
-	sink := NewVerifySink()
-	exec := &Executor{
-		Client:      &Client{Addr: proxy.addr(), Counters: &Counters{}, VerifyChecksums: true},
+	sink := proto.NewVerifySink()
+	exec := &proto.Executor{
+		Client:      &proto.Client{Addr: proxy.Addr(), Counters: &proto.Counters{}, VerifyChecksums: true},
 		Sink:        sink,
 		Environment: testEnv(),
 		MaxRetries:  4,
@@ -135,7 +97,7 @@ func TestExecutorSurvivesConnectionKill(t *testing.T) {
 	// Let the transfer get going, then rip out every connection twice.
 	for i := 0; i < 2; i++ {
 		time.Sleep(150 * time.Millisecond)
-		proxy.killAll()
+		proxy.KillAll()
 	}
 	r, err := sess.Finish()
 	if err != nil {
@@ -160,18 +122,17 @@ func TestExecutorSurvivesConnectionKill(t *testing.T) {
 func TestExecutorRedialsThroughOutage(t *testing.T) {
 	// Kill the listener itself, not just the connections: every re-dial
 	// fails until the proxy comes back. The executor must keep retrying
-	// within its budget (the original code gave up on the first failed
-	// re-dial) and complete once service is restored.
+	// within its budget and complete once service is restored.
 	ds := dataset.NewGenerator(52).Uniform(24, 400*units.KB)
-	srv := synthServer(t, ds, func(c *ServerConfig) {
+	srv := synthServer(t, ds, func(c *proto.ServerConfig) {
 		c.PerStreamRate = 60 * units.Mbps
 	})
-	proxy := newChaosProxy(t, srv.Addr())
+	proxy := newProxy(t, srv.Addr(), chaos.Options{})
 
 	reg := obs.NewRegistry()
-	sink := NewVerifySink()
-	exec := &Executor{
-		Client:      &Client{Addr: proxy.addr(), Counters: &Counters{}, VerifyChecksums: true},
+	sink := proto.NewVerifySink()
+	exec := &proto.Executor{
+		Client:      &proto.Client{Addr: proxy.Addr(), Counters: &proto.Counters{}, VerifyChecksums: true},
 		Sink:        sink,
 		Environment: testEnv(),
 		MaxRetries:  16,
@@ -185,11 +146,13 @@ func TestExecutorRedialsThroughOutage(t *testing.T) {
 	}
 
 	time.Sleep(150 * time.Millisecond)
-	proxy.stop()
+	proxy.Stop()
 	// Long enough that re-dials fail repeatedly (backoff starts at 5 ms),
 	// short enough that the 16-attempt budget cannot be exhausted.
 	time.Sleep(250 * time.Millisecond)
-	proxy.restart(t)
+	if err := proxy.Restart(); err != nil {
+		t.Fatal(err)
+	}
 
 	r, err := sess.Finish()
 	if err != nil {
@@ -213,13 +176,13 @@ func TestExecutorRedialsThroughOutage(t *testing.T) {
 
 func TestExecutorFailsWithoutRetryBudget(t *testing.T) {
 	ds := dataset.NewGenerator(51).Uniform(20, 500*units.KB)
-	srv := synthServer(t, ds, func(c *ServerConfig) {
+	srv := synthServer(t, ds, func(c *proto.ServerConfig) {
 		c.PerStreamRate = 40 * units.Mbps
 	})
-	proxy := newChaosProxy(t, srv.Addr())
-	exec := &Executor{
-		Client:      &Client{Addr: proxy.addr(), Counters: &Counters{}},
-		Sink:        NewVerifySink(),
+	proxy := newProxy(t, srv.Addr(), chaos.Options{})
+	exec := &proto.Executor{
+		Client:      &proto.Client{Addr: proxy.Addr(), Counters: &proto.Counters{}},
+		Sink:        proto.NewVerifySink(),
 		Environment: testEnv(),
 		MaxRetries:  0,
 	}
@@ -229,14 +192,8 @@ func TestExecutorFailsWithoutRetryBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(150 * time.Millisecond)
-	proxy.killAll()
+	proxy.KillAll()
 	if _, err := sess.Finish(); err == nil {
 		t.Error("zero-retry transfer survived a connection kill")
-	}
-}
-
-func planForChunk(chunk dataset.Chunk, channels int) transfer.Plan {
-	return transfer.Plan{
-		Chunks: []transfer.ChunkPlan{{Chunk: chunk, Channels: channels, Weight: 1, AcceptRealloc: true}},
 	}
 }

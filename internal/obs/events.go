@@ -26,6 +26,8 @@ const (
 	EvSessionOpened    = "session_opened"
 	EvSessionClosed    = "session_closed"
 	EvGetServed        = "get_served"
+	EvFaultInjected    = "fault_injected"
+	EvStallDetected    = "stall_detected"
 )
 
 // DefaultRingSize is how many recent events a Log retains for Tail.

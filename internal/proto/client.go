@@ -44,8 +44,20 @@ type Client struct {
 	// streams) and compared with the server's DONE checksum. This is
 	// the integrity feature Globus Online ships with — the paper
 	// disables it there "to do fair comparison" because it costs
-	// throughput.
+	// throughput. A mismatch surfaces as ErrChecksumMismatch, which the
+	// executor answers by re-fetching the file against the retry
+	// budget.
 	VerifyChecksums bool
+	// StallTimeout arms the per-channel stall watchdog: when requests
+	// are outstanding and no bytes arrive on any of the channel's
+	// connections for this long, every pending request fails with
+	// ErrStalled and the connections are severed (feeding the
+	// executor's retry/re-dial path). It also bounds each handshake
+	// read. Zero disables the watchdog — a black-holed connection then
+	// hangs forever, exactly as before. Set it comfortably above the
+	// path's worst-case quiet period (RTT plus scheduling jitter); an
+	// idle channel with nothing outstanding never trips.
+	StallTimeout time.Duration
 	// Metrics receives live client counters (bytes_received,
 	// gets_issued, ...); optional. Set before the first OpenChannel.
 	Metrics *obs.Registry
@@ -65,6 +77,7 @@ type clientInstruments struct {
 	getsSettled    *obs.Counter
 	getsFailed     *obs.Counter
 	channelsDialed *obs.Counter
+	stallsDetected *obs.Counter
 	settleMS       *obs.Histogram
 }
 
@@ -80,6 +93,7 @@ func (c *Client) instruments() *clientInstruments {
 			getsSettled:    r.Counter("gets_settled"),
 			getsFailed:     r.Counter("gets_failed"),
 			channelsDialed: r.Counter("channels_dialed"),
+			stallsDetected: r.Counter("stalls_detected"),
 			settleMS:       r.Histogram("get_settle_ms"),
 		}
 	})
@@ -102,10 +116,19 @@ func (c *Client) List() ([]dataset.File, error) {
 		return nil, err
 	}
 	defer conn.Close()
+	// With a stall timeout configured every response read gets a
+	// rolling deadline: a black-holed server fails the listing instead
+	// of hanging it.
+	arm := func() {
+		if c.StallTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(c.StallTimeout))
+		}
+	}
 	br := bufio.NewReader(conn)
 	if _, err := io.WriteString(conn, "HELLO\n"); err != nil {
 		return nil, err
 	}
+	arm()
 	if verb, _, err := readLine(br); err != nil || verb != respOK {
 		return nil, fmt.Errorf("proto: handshake failed (verb %q, err %v)", verb, err)
 	}
@@ -114,6 +137,7 @@ func (c *Client) List() ([]dataset.File, error) {
 	}
 	var files []dataset.File
 	for {
+		arm()
 		verb, fields, err := readLine(br)
 		if err != nil {
 			return nil, err
@@ -157,6 +181,11 @@ type Channel struct {
 	nextID  uint32
 	readErr error
 
+	// progress counts bytes read off every connection; the stall
+	// watchdog (when armed) compares it between checks.
+	progress  atomic.Int64
+	watchStop chan struct{} // nil when no watchdog is running
+
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
@@ -177,6 +206,36 @@ type pendingGet struct {
 
 	blockMu sync.Mutex
 	blocks  []blockCRC
+
+	failMu  sync.Mutex
+	failErr error // transport failure recorded after ctrlDone already fired
+}
+
+// abort records a transport failure for an unfinished request. The DONE
+// acknowledgement can outrun payload blocks that then never arrive (the
+// server wrote everything into socket buffers before the path died), in
+// which case finishCtrl is a no-op and the failure must be recorded
+// separately — otherwise finish would misread the missing blocks as a
+// checksum-tiling corruption. A request whose payload fully arrived is
+// left successful.
+func (p *pendingGet) abort(err error) {
+	p.finishCtrl(0, err)
+	<-p.ctrlDone // closed: either just now or by an earlier DONE/ERR
+	if p.err == nil && p.received.Load() < p.length {
+		p.failMu.Lock()
+		if p.failErr == nil {
+			p.failErr = err
+		}
+		p.failMu.Unlock()
+	}
+	p.dataOnce.Do(func() { close(p.dataDone) })
+}
+
+// transportErr returns the failure recorded by abort, if any.
+func (p *pendingGet) transportErr() error {
+	p.failMu.Lock()
+	defer p.failMu.Unlock()
+	return p.failErr
 }
 
 // recordBlock remembers a received block's CRC for later combination.
@@ -198,10 +257,10 @@ func (p *pendingGet) verifyChecksum() error {
 	}
 	got, ok := combineBlocks(normalized, p.length)
 	if !ok {
-		return fmt.Errorf("proto: %s: received blocks do not tile the requested range", p.name)
+		return fmt.Errorf("%w: %s: received blocks do not tile the requested range", ErrChecksumMismatch, p.name)
 	}
 	if got != p.crc {
-		return fmt.Errorf("proto: %s: checksum mismatch (got %08x, server sent %08x)", p.name, got, p.crc)
+		return fmt.Errorf("%w: %s: got %08x, server sent %08x", ErrChecksumMismatch, p.name, got, p.crc)
 	}
 	return nil
 }
@@ -233,14 +292,24 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	ch := &Channel{
 		client:  c,
 		ctrl:    ctrl,
-		br:      bufio.NewReader(ctrl),
 		inst:    c.instruments(),
 		pending: make(map[uint32]*pendingGet),
+	}
+	// Every connection reads through a progress counter so the stall
+	// watchdog can tell "slow" from "dead"; handshake reads get a
+	// plain deadline (a definite response is expected, so a stall here
+	// is immediately fatal rather than watchdog-detected).
+	ch.br = bufio.NewReader(progressConn{Conn: ctrl, progress: &ch.progress})
+	armCtrl := func() {
+		if c.StallTimeout > 0 {
+			_ = ctrl.SetReadDeadline(time.Now().Add(c.StallTimeout))
+		}
 	}
 	if _, err := io.WriteString(ctrl, "HELLO\n"); err != nil {
 		ctrl.Close()
 		return nil, err
 	}
+	armCtrl()
 	verb, fields, err := readLine(ch.br)
 	if err != nil || verb != respOK || len(fields) != 1 {
 		ctrl.Close()
@@ -264,15 +333,21 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 			ch.Close()
 			return nil, err
 		}
-		ch.streams = append(ch.streams, data)
+		ch.streams = append(ch.streams, progressConn{Conn: data, progress: &ch.progress})
 	}
 	if _, err := fmt.Fprintf(ctrl, "%s %d\n", cmdOpen, parallelism); err != nil {
 		ch.Close()
 		return nil, err
 	}
+	armCtrl()
 	if verb, fields, err := readLine(ch.br); err != nil || verb != respOK {
 		ch.Close()
 		return nil, fmt.Errorf("proto: OPEN failed (verb %q fields %v err %v)", verb, fields, err)
+	}
+	if c.StallTimeout > 0 {
+		// Steady state is watchdog territory: clear the handshake
+		// deadline or it would fire on a legitimately idle channel.
+		_ = ctrl.SetReadDeadline(time.Time{})
 	}
 
 	// Control reader (DONE/ERR) and per-stream block readers.
@@ -281,6 +356,11 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	for _, s := range ch.streams {
 		ch.wg.Add(1)
 		go ch.streamLoop(s)
+	}
+	if c.StallTimeout > 0 {
+		ch.watchStop = make(chan struct{})
+		ch.wg.Add(1)
+		go ch.watchdog(c.StallTimeout)
 	}
 	ch.inst.channelsDialed.Inc()
 	c.Events.Emit(obs.EvChannelDialed, "sid", sid, "parallelism", parallelism)
@@ -353,8 +433,7 @@ func (ch *Channel) streamLoop(conn net.Conn) {
 			continue // request was abandoned
 		}
 		if _, err := p.sink.WriteAt(p.name, payload, int64(h.Offset)); err != nil {
-			p.finishCtrl(0, err)
-			p.dataOnce.Do(func() { close(p.dataDone) })
+			p.abort(err)
 			continue
 		}
 		if ch.client.VerifyChecksums {
@@ -388,8 +467,7 @@ func (ch *Channel) failAll(err error) {
 	}
 	ch.mu.Unlock()
 	for _, p := range pend {
-		p.finishCtrl(0, err)
-		p.dataOnce.Do(func() { close(p.dataDone) })
+		p.abort(err)
 	}
 }
 
@@ -449,6 +527,9 @@ func (ch *Channel) finish(p *pendingGet) error {
 	<-p.ctrlDone
 	ch.release(p)
 	err := p.err
+	if err == nil {
+		err = p.transportErr()
+	}
 	if err == nil && ch.client.VerifyChecksums && p.length > 0 {
 		err = p.verifyChecksum()
 	}
@@ -520,6 +601,9 @@ func (ch *Channel) FetchRanges(ranges []FileRange, pipelining int, sink Sink) (F
 func (ch *Channel) Close() error {
 	if !ch.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if ch.watchStop != nil {
+		close(ch.watchStop)
 	}
 	_, _ = io.WriteString(ch.ctrl, cmdQuit+"\n")
 	err := ch.ctrl.Close()

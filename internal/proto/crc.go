@@ -1,5 +1,16 @@
 package proto
 
+import "errors"
+
+// ErrChecksumMismatch marks a fetched file whose combined block CRCs
+// disagree with the server's whole-file checksum (or whose blocks do
+// not tile the requested range): the bytes arrived and were
+// acknowledged, but the content is wrong. Callers that can re-fetch
+// should — corruption is transient where a transport error may not be —
+// and the executor does exactly that, re-queueing the file against the
+// retry budget without tearing down the (healthy) channel.
+var ErrChecksumMismatch = errors.New("proto: checksum mismatch")
+
 // CRC combination for striped transfers. The server computes one
 // CRC-32C over each file as it reads it sequentially; the client
 // receives the file as out-of-order blocks across parallel streams, so
@@ -87,6 +98,9 @@ func combineBlocks(blocks []blockCRC, total int64) (uint32, bool) {
 	var crc uint32
 	var pos int64
 	for _, b := range blocks {
+		if b.n == 0 {
+			continue // contributes nothing and tiles nowhere
+		}
 		if b.off != pos {
 			return 0, false
 		}

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"errors"
 	"hash/crc32"
 	"math/rand"
 	"testing"
@@ -105,6 +106,100 @@ func TestChecksumCatchesCorruption(t *testing.T) {
 	p.blocks[0].crc ^= 1
 	if err := p.verifyChecksum(); err == nil {
 		t.Error("corrupted block CRC passed verification")
+	}
+}
+
+func TestCombineBlocksZeroLengthBlocks(t *testing.T) {
+	// Zero-length blocks are legal tiles anywhere in the range: they
+	// contribute nothing to the CRC and must not break the tiling scan.
+	data := make([]byte, 1000)
+	rand.New(rand.NewSource(11)).Read(data)
+	whole := crc32.Checksum(data, crcTable)
+	blocks := []blockCRC{
+		{off: 0, n: 0, crc: 0},
+		{off: 0, n: 600, crc: crc32.Checksum(data[:600], crcTable)},
+		{off: 600, n: 0, crc: 0},
+		{off: 600, n: 400, crc: crc32.Checksum(data[600:], crcTable)},
+		{off: 1000, n: 0, crc: 0},
+	}
+	got, ok := combineBlocks(blocks, int64(len(data)))
+	if !ok || got != whole {
+		t.Errorf("combineBlocks with zero-length tiles = %08x ok=%v, want %08x", got, ok, whole)
+	}
+	// An entirely empty range combines to the zero CRC.
+	if got, ok := combineBlocks(nil, 0); !ok || got != 0 {
+		t.Errorf("empty range = %08x ok=%v, want 0", got, ok)
+	}
+	if got, ok := combineBlocks([]blockCRC{{off: 0, n: 0, crc: 0}}, 0); !ok || got != 0 {
+		t.Errorf("single zero block over empty range = %08x ok=%v", got, ok)
+	}
+}
+
+func TestCombineBlocksSingleBlockFile(t *testing.T) {
+	// A file that fits in one block must combine to exactly that block's
+	// CRC — the degenerate case where no GF(2) matrix work happens.
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(12)).Read(data)
+	whole := crc32.Checksum(data, crcTable)
+	got, ok := combineBlocks([]blockCRC{{off: 0, n: 4096, crc: whole}}, 4096)
+	if !ok || got != whole {
+		t.Errorf("single-block combine = %08x ok=%v, want %08x", got, ok, whole)
+	}
+}
+
+func TestVerifyChecksumResumeOffsetNormalization(t *testing.T) {
+	// A resumed GET records blocks at absolute file offsets, but the
+	// server's checksum covers only the requested [offset, offset+length)
+	// window. verifyChecksum must normalize by p.offset before tiling.
+	total := make([]byte, 1500)
+	FillSynth("resumed.dat", 0, total)
+	p := &pendingGet{name: "resumed.dat", offset: 1000, length: 500}
+	p.recordBlock(1000, total[1000:1200])
+	p.recordBlock(1200, total[1200:1500])
+	p.crc = crc32.Checksum(total[1000:1500], crcTable)
+	if err := p.verifyChecksum(); err != nil {
+		t.Fatalf("resumed-range verification failed: %v", err)
+	}
+
+	// Without normalization the same blocks would read as a gap at the
+	// start of the range; prove a genuinely-absolute recording fails and
+	// carries the typed sentinel.
+	q := &pendingGet{name: "resumed.dat", offset: 0, length: 500}
+	q.recordBlock(1000, total[1000:1200])
+	q.recordBlock(1200, total[1200:1500])
+	q.crc = p.crc
+	err := q.verifyChecksum()
+	if err == nil {
+		t.Fatal("mis-offset blocks passed verification")
+	}
+	if !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("tiling failure is %v, want ErrChecksumMismatch", err)
+	}
+}
+
+func TestVerifyChecksumTypedError(t *testing.T) {
+	// Both failure modes — bad tiling and a CRC mismatch — must wrap
+	// ErrChecksumMismatch so the executor can tell corruption apart from
+	// transport failures.
+	data := make([]byte, 256)
+	FillSynth("t.dat", 0, data)
+	p := &pendingGet{name: "t.dat", length: 256}
+	p.recordBlock(0, data)
+	p.crc = crc32.Checksum(data, crcTable)
+	if err := p.verifyChecksum(); err != nil {
+		t.Fatalf("clean verification failed: %v", err)
+	}
+	p.blocks[0].crc ^= 1
+	if err := p.verifyChecksum(); !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("CRC mismatch is %v, want ErrChecksumMismatch", err)
+	}
+}
+
+func TestVerifyChecksumZeroLengthRange(t *testing.T) {
+	// A zero-length request has nothing to verify: no blocks, zero CRC.
+	p := &pendingGet{name: "empty.dat", length: 0}
+	if err := p.verifyChecksum(); err != nil {
+		t.Errorf("zero-length verification failed: %v", err)
 	}
 }
 

@@ -63,6 +63,20 @@ type Executor struct {
 // is not hammered.
 const redialBackoffCap = 200 * time.Millisecond
 
+// causeOf classifies a failed request for retry accounting: watchdog
+// kills book as "stall", integrity failures as "checksum", everything
+// else as "transport".
+func causeOf(err error) string {
+	switch {
+	case errors.Is(err, ErrStalled):
+		return "stall"
+	case errors.Is(err, ErrChecksumMismatch):
+		return "checksum"
+	default:
+		return "transport"
+	}
+}
+
 // Env implements transfer.Executor.
 func (e *Executor) Env() transfer.Environment { return e.Environment }
 
@@ -353,7 +367,7 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 		ok := true
 		for _, f := range window {
 			f.q.attempts++
-			s.retryConsumed("transport", f.q.r.File.Name, f.q.attempts, cause)
+			s.retryConsumed(causeOf(cause), f.q.r.File.Name, f.q.attempts, cause)
 			if f.q.attempts > s.exec.MaxRetries {
 				ok = false
 				continue
@@ -414,6 +428,21 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 		f := window[0]
 		window = window[1:]
 		if err := ch.finish(f.p); err != nil {
+			if errors.Is(err, ErrChecksumMismatch) {
+				// The bytes and the DONE line both arrived — the channel
+				// is healthy, the content is not. Re-fetch just this file
+				// against the retry budget instead of tearing the channel
+				// down (the re-write covers the corrupt range).
+				f.q.attempts++
+				s.retryConsumed(causeOf(err), f.q.r.File.Name, f.q.attempts, err)
+				if f.q.attempts > s.exec.MaxRetries {
+					s.fail(fmt.Errorf("proto: %s still corrupt after %d retries: %w",
+						f.q.r.File.Name, s.exec.MaxRetries, err))
+					return false
+				}
+				w.chunk.requeue(f.q)
+				return true
+			}
 			window = append([]inflight{f}, window...)
 			return redial(err)
 		}

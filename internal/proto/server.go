@@ -39,6 +39,14 @@ type ServerConfig struct {
 	// DataDialTimeout bounds how long OPEN waits for the client's data
 	// connections to arrive.
 	DataDialTimeout time.Duration
+	// StallTimeout bounds every control and data write: a client that
+	// stops draining its sockets (black-holed, frozen, or gone without
+	// a reset) turns into a write timeout instead of a goroutine parked
+	// forever in Write, and a failed control write tears the session
+	// down. Zero disables the deadlines. Set it above the worst-case
+	// client-side pause (the shaping limiters run server-side and do
+	// not count against it).
+	StallTimeout time.Duration
 	// Logf receives diagnostic messages; silent when nil.
 	Logf func(format string, args ...any)
 }
@@ -362,12 +370,21 @@ func (sess *serverSession) send(format string, args ...any) {
 
 func (sess *serverSession) sendRaw(line string) {
 	sess.writeMu.Lock()
-	defer sess.writeMu.Unlock()
 	if sess.closed.Load() {
+		sess.writeMu.Unlock()
 		return
 	}
-	if _, err := io.WriteString(sess.ctrl, line); err != nil {
+	if t := sess.srv.cfg.StallTimeout; t > 0 {
+		_ = sess.ctrl.SetWriteDeadline(time.Now().Add(t))
+	}
+	_, err := io.WriteString(sess.ctrl, line)
+	sess.writeMu.Unlock()
+	if err != nil {
+		// A client that cannot take control lines has lost protocol
+		// state (a DONE/ERR just vanished); tear the session down so
+		// its resources are not held by a dead peer.
 		sess.srv.cfg.logf("proto: control write on session %d: %v", sess.sid, err)
+		sess.close()
 	}
 }
 
@@ -470,7 +487,11 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 		go func(i int) {
 			defer wg.Done()
 			perStream := NewLimiter(sess.srv.cfg.PerStreamRate)
-			w := shapedWriter{w: streams[i], limiters: []*Limiter{perStream, sess.srv.link}}
+			var dst io.Writer = streams[i]
+			if t := sess.srv.cfg.StallTimeout; t > 0 {
+				dst = &deadlineWriter{conn: streams[i], timeout: t}
+			}
+			w := shapedWriter{w: dst, limiters: []*Limiter{perStream, sess.srv.link}}
 			scratch := make([]byte, blockHeaderSize)
 			for b := range queues[i] {
 				if errs[i] == nil {
@@ -533,6 +554,21 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 	sess.srv.inst.bytesServed.Add(req.Length)
 	doneQueue.Push(fmt.Sprintf("%s %d %d\n", respDone, req.ID, crc.Sum32()))
 	return nil
+}
+
+// deadlineWriter arms a rolling write deadline before every Write so a
+// peer that stops draining the socket produces a timeout error instead
+// of parking the writer goroutine forever.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineWriter) Write(p []byte) (int, error) {
+	if err := d.conn.SetWriteDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	return d.conn.Write(p)
 }
 
 func (sess *serverSession) close() {

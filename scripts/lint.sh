@@ -28,6 +28,19 @@ if [ -n "$bad_deps" ]; then
     exit 1
 fi
 
+echo "== chaos dependency audit (stdlib + internal/obs only)"
+# The fault-injection package must stay import-light so any test layer
+# can wrap a connection in it without dragging in the transfer stack.
+bad_deps="$(go list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./internal/chaos \
+    | grep -v '^$' \
+    | grep -v '^github.com/didclab/eta/internal/chaos$' \
+    | grep -v '^github.com/didclab/eta/internal/obs$' || true)"
+if [ -n "$bad_deps" ]; then
+    echo "internal/chaos must only depend on the stdlib and internal/obs, found:" >&2
+    echo "$bad_deps" >&2
+    exit 1
+fi
+
 echo "== gofmt"
 # testdata fixtures are excluded: they are analyzer inputs, not code.
 unformatted="$(find . -name '*.go' -not -path '*/testdata/*' -not -path './.git/*' -print0 | xargs -0 gofmt -l)"
