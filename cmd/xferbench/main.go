@@ -37,15 +37,16 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 	eventsOut := flag.String("events", "", "append the JSONL event log to this file as the sweep runs")
 	stallTimeout := flag.Duration("stall-timeout", 0, "fail a channel whose pending requests see no bytes for this long (0 disables the watchdog)")
+	block := flag.Int("block", proto.DefaultBlockSize, "expected server block size in bytes (sizes stream read buffers)")
 	flag.Parse()
 
-	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout); err != nil {
+	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout, *block); err != nil {
 		fmt.Fprintln(os.Stderr, "xferbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration) error {
+func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration, block int) error {
 	values, err := parseValues(valuesStr)
 	if err != nil {
 		return err
@@ -55,7 +56,7 @@ func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metr
 		return err
 	}
 
-	client := &proto.Client{Addr: server, StallTimeout: stallTimeout}
+	client := &proto.Client{Addr: server, StallTimeout: stallTimeout, BlockSize: block}
 	if metricsOut != "" || eventsOut != "" {
 		reg := obs.NewRegistry()
 		var events *obs.Log

@@ -53,13 +53,13 @@ func TestRunSweepTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), "concurrency", "1,2", "400KB", 1, 1, 2, "", "", 0); err != nil {
+	if err := run(srv.Addr(), "concurrency", "1,2", "400KB", 1, 1, 2, "", "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(srv.Addr(), "bogus", "1", "400KB", 1, 1, 2, "", "", 0); err == nil {
+	if err := run(srv.Addr(), "bogus", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
 		t.Error("unknown sweep parameter accepted")
 	}
-	if err := run("127.0.0.1:1", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0); err == nil {
+	if err := run("127.0.0.1:1", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
 		t.Error("dead server accepted")
 	}
 }
@@ -74,7 +74,7 @@ func TestRunDumpsMetricsAndEvents(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "metrics.json")
 	events := filepath.Join(dir, "events.jsonl")
-	if err := run(srv.Addr(), "concurrency", "1", "300KB", 1, 1, 2, metrics, events, 2*time.Second); err != nil {
+	if err := run(srv.Addr(), "concurrency", "1", "300KB", 1, 1, 2, metrics, events, 2*time.Second, proto.DefaultBlockSize); err != nil {
 		t.Fatal(err)
 	}
 

@@ -35,13 +35,17 @@ func main() {
 	block := flag.Int("block", proto.DefaultBlockSize, "striping block size in bytes")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /events on this address (e.g. :7633)")
 	stallTimeout := flag.Duration("stall-timeout", 0, "tear down sessions whose control/data writes stall this long (0 disables)")
+	writevBatch := flag.Int("writev-batch", 0, "max blocks gathered into one vectored write on unshaped streams (0 = default 8, 1 disables batching)")
+	crcCache := flag.Bool("crc-cache", true, "cache per-file block CRCs so repeat serves of unchanged files skip re-hashing")
 	flag.Parse()
 
 	cfg := proto.ServerConfig{
-		ControlRTT:   *rtt,
-		BlockSize:    *block,
-		StallTimeout: *stallTimeout,
-		Logf:         log.Printf,
+		ControlRTT:      *rtt,
+		BlockSize:       *block,
+		StallTimeout:    *stallTimeout,
+		MaxBatchBlocks:  *writevBatch,
+		DisableCRCCache: !*crcCache,
+		Logf:            log.Printf,
 	}
 	if *metricsAddr != "" {
 		cfg.Metrics = obs.NewRegistry()

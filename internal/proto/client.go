@@ -48,6 +48,12 @@ type Client struct {
 	// executor answers by re-fetching the file against the retry
 	// budget.
 	VerifyChecksums bool
+	// BlockSize is the striping unit the server is expected to use; it
+	// sizes each stream's read buffer and pooled payload buffer so a
+	// whole block is absorbed without splitting reads. DefaultBlockSize
+	// when zero. A mismatch is only a performance miss: a larger server
+	// block is handled by growing the payload buffer on arrival.
+	BlockSize int
 	// StallTimeout arms the per-channel stall watchdog: when requests
 	// are outstanding and no bytes arrive on any of the channel's
 	// connections for this long, every pending request fails with
@@ -98,6 +104,13 @@ func (c *Client) instruments() *clientInstruments {
 		}
 	})
 	return &c.inst
+}
+
+func (c *Client) blockSize() int {
+	if c.BlockSize > 0 {
+		return c.BlockSize
+	}
+	return DefaultBlockSize
 }
 
 func (c *Client) dial() (net.Conn, error) {
@@ -406,12 +419,15 @@ func (ch *Channel) controlLoop() {
 
 func (ch *Channel) streamLoop(conn net.Conn) {
 	defer ch.wg.Done()
-	br := bufio.NewReaderSize(conn, 256*1024)
+	// The read buffer matches the expected block size so a full block
+	// (header + payload) is absorbed in a couple of reads instead of
+	// fragmenting across many smaller ones.
+	br := bufio.NewReaderSize(conn, ch.client.blockSize())
 	// One pooled payload buffer and one header scratch per stream for
 	// the connection's lifetime: the steady-state receive path never
 	// allocates per block, and short-lived channels (dial, fetch,
 	// close) recycle each other's buffers through the pool.
-	bufp := getBlockBuf(DefaultBlockSize)
+	bufp := getBlockBuf(ch.client.blockSize())
 	defer putBlockBuf(bufp)
 	scratch := make([]byte, blockHeaderSize)
 	for {
@@ -421,7 +437,10 @@ func (ch *Channel) streamLoop(conn net.Conn) {
 			return
 		}
 		if int(h.Length) > cap(*bufp) {
-			*bufp = make([]byte, h.Length)
+			// The server runs a larger block size than expected: trade
+			// the pooled buffer for one from the matching bucket.
+			putBlockBuf(bufp)
+			bufp = getBlockBuf(int(h.Length))
 		}
 		payload := (*bufp)[:h.Length]
 		if _, err := io.ReadFull(br, payload); err != nil {
@@ -495,6 +514,15 @@ func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
 	}
 	ch.pending[id] = p
 	ch.mu.Unlock()
+
+	// Reserve the file's final size before any payload arrives, so the
+	// striped out-of-order WriteAts land inside an already-sized file.
+	if pa, ok := sink.(Preallocator); ok && p.length > 0 {
+		if err := pa.Preallocate(p.name, p.offset+p.length); err != nil {
+			ch.release(p)
+			return nil, err
+		}
+	}
 
 	line := formatGet(getRequest{ID: id, Name: r.File.Name, Offset: p.offset, Length: p.length})
 	if _, err := io.WriteString(ch.ctrl, line); err != nil {

@@ -25,7 +25,7 @@ var ErrChecksumMismatch = errors.New("proto: checksum mismatch")
 const crc32Poly = 0x82F63B78
 
 // gf2MatrixTimes multiplies the GF(2) matrix by the vector.
-func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+func gf2MatrixTimes(mat *crc32Op, vec uint32) uint32 {
 	var sum uint32
 	for i := 0; vec != 0; i++ {
 		if vec&1 != 0 {
@@ -37,19 +37,24 @@ func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
 }
 
 // gf2MatrixSquare sets square = mat².
-func gf2MatrixSquare(square, mat *[32]uint32) {
+func gf2MatrixSquare(square, mat *crc32Op) {
 	for i := range mat {
 		square[i] = gf2MatrixTimes(mat, mat[i])
 	}
 }
 
-// CRC32CCombine returns the CRC-32C of the concatenation A‖B given
-// crc(A), crc(B) and len(B). It runs in O(log len2) matrix operations.
-func CRC32CCombine(crc1, crc2 uint32, len2 int64) uint32 {
-	if len2 <= 0 {
-		return crc1
-	}
-	var even, odd [32]uint32
+// crc32Op is the precomputed GF(2) operator that advances a CRC-32C
+// state across a fixed number of zero bytes. Building one costs
+// O(log n) matrix squarings; applying it is a single matrix-vector
+// multiply (~32 XORs), so hot paths that combine many equal-length
+// blocks — the server's block-tiled serve loop — pay the expensive
+// part once per length instead of once per block.
+type crc32Op [32]uint32
+
+// makeCRC32Op builds the advance-n-zero-bytes operator. n must be
+// positive.
+func makeCRC32Op(n int64) crc32Op {
+	var even, odd crc32Op
 
 	// odd = operator for one zero bit.
 	odd[0] = crc32Poly
@@ -62,25 +67,43 @@ func CRC32CCombine(crc1, crc2 uint32, len2 int64) uint32 {
 	gf2MatrixSquare(&even, &odd)
 	gf2MatrixSquare(&odd, &even)
 
-	for {
-		gf2MatrixSquare(&even, &odd)
-		if len2&1 != 0 {
-			crc1 = gf2MatrixTimes(&even, crc1)
-		}
-		len2 >>= 1
-		if len2 == 0 {
-			break
-		}
-		gf2MatrixSquare(&odd, &even)
-		if len2&1 != 0 {
-			crc1 = gf2MatrixTimes(&odd, crc1)
-		}
-		len2 >>= 1
-		if len2 == 0 {
-			break
+	// out accumulates the product of the squarings selected by n's
+	// bits, starting from the identity.
+	var out crc32Op
+	for i := range out {
+		out[i] = 1 << i
+	}
+	cur, next := &odd, &even
+	for ; n > 0; n >>= 1 {
+		gf2MatrixSquare(next, cur)
+		cur, next = next, cur
+		if n&1 != 0 {
+			var prod crc32Op
+			for i := range prod {
+				prod[i] = gf2MatrixTimes(cur, out[i])
+			}
+			out = prod
 		}
 	}
-	return crc1 ^ crc2
+	return out
+}
+
+// combine returns the CRC of A‖B given crc(A), crc(B), where the
+// operator was built for len(B).
+func (op *crc32Op) combine(crc1, crc2 uint32) uint32 {
+	return gf2MatrixTimes(op, crc1) ^ crc2
+}
+
+// CRC32CCombine returns the CRC-32C of the concatenation A‖B given
+// crc(A), crc(B) and len(B). It runs in O(log len2) matrix operations;
+// callers combining many blocks of one length should build the
+// operator once with makeCRC32Op and apply it per block instead.
+func CRC32CCombine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	op := makeCRC32Op(len2)
+	return op.combine(crc1, crc2)
 }
 
 // blockCRC is one received block's integrity record.
@@ -97,6 +120,11 @@ func combineBlocks(blocks []blockCRC, total int64) (uint32, bool) {
 	sortBlocks(blocks)
 	var crc uint32
 	var pos int64
+	// Striped transfers produce runs of equal-length blocks, so the
+	// advance operator is rebuilt only when the length changes (in
+	// practice: once, plus once for the file's tail block).
+	var op crc32Op
+	opLen := int64(-1)
 	for _, b := range blocks {
 		if b.n == 0 {
 			continue // contributes nothing and tiles nowhere
@@ -104,7 +132,11 @@ func combineBlocks(blocks []blockCRC, total int64) (uint32, bool) {
 		if b.off != pos {
 			return 0, false
 		}
-		crc = CRC32CCombine(crc, b.crc, b.n)
+		if b.n != opLen {
+			op = makeCRC32Op(b.n)
+			opLen = b.n
+		}
+		crc = op.combine(crc, b.crc)
 		pos += b.n
 	}
 	return crc, pos == total

@@ -50,7 +50,15 @@ func ResumeRanges(root string, files []dataset.File) ([]FileRange, units.Bytes, 
 		if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) || filepath.IsAbs(clean) {
 			return nil, 0, fmt.Errorf("proto: path %q escapes destination root", f.Name)
 		}
-		info, err := os.Stat(filepath.Join(root, clean))
+		path := filepath.Join(root, clean)
+		// A partial marker means the file was preallocated to full size
+		// but its transfer never completed: the length lies (holes may
+		// hide anywhere), so the only sound resume is a whole refetch.
+		if _, err := os.Stat(path + partialMarkerSuffix); err == nil {
+			ranges = append(ranges, FileRange{File: f})
+			continue
+		}
+		info, err := os.Stat(path)
 		switch {
 		case err == nil && units.Bytes(info.Size()) >= f.Size:
 			skipped += f.Size

@@ -36,6 +36,17 @@ type ServerConfig struct {
 	ControlRTT time.Duration
 	// BlockSize is the striping unit; DefaultBlockSize when zero.
 	BlockSize int
+	// MaxBatchBlocks caps how many queued blocks one writev gathers on
+	// an unshaped stream. Higher values amortize syscalls when a stream
+	// has backlog; 1 disables multi-block batching (each block is still
+	// one vectored header+payload write). Zero means the default (8).
+	// Shaped streams always write one block at a time so the limiters
+	// keep their pacing granularity.
+	MaxBatchBlocks int
+	// DisableCRCCache turns off the per-file CRC sidecar cache. The
+	// cache only activates for stores implementing Versioner; disabling
+	// it forces every serve to re-hash payload bytes.
+	DisableCRCCache bool
 	// DataDialTimeout bounds how long OPEN waits for the client's data
 	// connections to arrive.
 	DataDialTimeout time.Duration
@@ -58,6 +69,13 @@ func (c ServerConfig) blockSize() int {
 	return DefaultBlockSize
 }
 
+func (c ServerConfig) maxBatchBlocks() int {
+	if c.MaxBatchBlocks > 0 {
+		return c.MaxBatchBlocks
+	}
+	return 8
+}
+
 func (c ServerConfig) dialTimeout() time.Duration {
 	if c.DataDialTimeout > 0 {
 		return c.DataDialTimeout
@@ -77,6 +95,13 @@ type Server struct {
 	ln   net.Listener
 	link *Limiter
 	inst serverInstruments
+
+	// crcSidecars caches per-file block CRCs across serves; nil when the
+	// cache is disabled. blockOp is the precomputed CRC advance operator
+	// for one full block, shared by every serve at the configured block
+	// size.
+	crcSidecars *crcCache
+	blockOp     crc32Op
 
 	bytesServed   atomic.Int64
 	requestsDone  atomic.Int64
@@ -122,6 +147,10 @@ type serverInstruments struct {
 	requestsFailed *obs.Counter
 	bytesServed    *obs.Counter
 	serveMS        *obs.Histogram
+	writevBatches  *obs.Counter
+	writevBlocks   *obs.Counter
+	crcCacheHits   *obs.Counter
+	crcCacheMisses *obs.Counter
 }
 
 // Serve starts a server on ln. Close the server to stop it.
@@ -140,7 +169,15 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 			requestsFailed: cfg.Metrics.Counter("server_requests_failed"),
 			bytesServed:    cfg.Metrics.Counter("server_bytes_served"),
 			serveMS:        cfg.Metrics.Histogram("server_get_serve_ms"),
+			writevBatches:  cfg.Metrics.Counter("server_writev_batches"),
+			writevBlocks:   cfg.Metrics.Counter("server_writev_blocks"),
+			crcCacheHits:   cfg.Metrics.Counter("server_crc_cache_hits"),
+			crcCacheMisses: cfg.Metrics.Counter("server_crc_cache_misses"),
 		},
+		blockOp: makeCRC32Op(int64(cfg.blockSize())),
+	}
+	if !cfg.DisableCRCCache {
+		s.crcSidecars = newCRCCache(0)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -241,7 +278,8 @@ type serverSession struct {
 	sid  uint64
 	ctrl net.Conn
 
-	writeMu sync.Mutex // guards ctrl writes
+	writeMu sync.Mutex    // guards ctrl writes
+	bw      *bufio.Writer // buffers multi-line replies (LIST); guarded by writeMu
 
 	dataMu  sync.Mutex
 	data    []net.Conn
@@ -266,6 +304,7 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 		ctrl:    conn,
 		dataGot: make(chan struct{}, 1),
 		reqs:    make(chan getRequest, 1024),
+		bw:      bufio.NewWriter(conn),
 	}
 	s.sessions[sess.sid] = sess
 	s.mu.Unlock()
@@ -326,14 +365,26 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 				sess.send("%s %v\n", respErr, err)
 				continue
 			}
+			// The session-lifetime bufio.Writer (under writeMu) replaces a
+			// per-request allocation; it holds no bytes between requests
+			// because every use ends with a Flush before the unlock.
 			sess.writeMu.Lock()
-			bw := bufio.NewWriter(sess.ctrl)
-			for _, f := range files {
-				fmt.Fprintf(bw, "%s %d %s\n", respFile, int64(f.Size), escapeName(f.Name))
+			if t := s.cfg.StallTimeout; t > 0 {
+				_ = sess.ctrl.SetWriteDeadline(time.Now().Add(t))
 			}
-			fmt.Fprintf(bw, "%s\n", respEnd)
-			bw.Flush()
+			for _, f := range files {
+				fmt.Fprintf(sess.bw, "%s %d %s\n", respFile, int64(f.Size), escapeName(f.Name))
+			}
+			fmt.Fprintf(sess.bw, "%s\n", respEnd)
+			err = sess.bw.Flush()
 			sess.writeMu.Unlock()
+			if err != nil {
+				// Same contract as sendRaw: a control channel that cannot
+				// carry replies means the peer lost protocol state.
+				s.cfg.logf("proto: control write on session %d: %v", sess.sid, err)
+				sess.close()
+				return
+			}
 		case cmdOpen:
 			if len(fields) != 1 {
 				sess.send("%s OPEN wants a stream count\n", respErr)
@@ -462,6 +513,41 @@ func (sess *serverSession) serveLoop(doneQueue *delayQueue[string]) {
 	}
 }
 
+// queuedBlock is one block in flight from the serve loop to a stream
+// writer: the framing header plus the pooled payload buffer, which the
+// receiving writer owns (it returns it to the pool once the bytes are
+// written or dropped).
+type queuedBlock struct {
+	header blockHeader
+	buf    *[]byte
+}
+
+// collectBatch fills batch[:0] from q: it blocks for the first block,
+// then opportunistically drains blocks the serve loop already queued —
+// without blocking — up to max total. The bool reports whether q is
+// still open; a close observed mid-drain still returns the gathered
+// batch so the caller flushes it before exiting.
+func collectBatch(q <-chan queuedBlock, batch []queuedBlock, max int) ([]queuedBlock, bool) {
+	batch = batch[:0]
+	b, ok := <-q
+	if !ok {
+		return batch, false
+	}
+	batch = append(batch, b)
+	for len(batch) < max {
+		select {
+		case b, ok := <-q:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, b)
+		default:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
 func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string]) error {
 	streams := sess.streams()
 	if len(streams) == 0 {
@@ -469,20 +555,30 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 	}
 	blockSize := sess.srv.cfg.blockSize()
 
+	// Unshaped streams gather queue backlog into multi-block writev
+	// batches; shaped streams stay at one block per write so the
+	// limiters keep pacing at block granularity (the header+payload
+	// coalescing into a single vectored write applies either way).
+	maxBatch := 1
+	if sess.srv.cfg.PerStreamRate == 0 && sess.srv.cfg.LinkRate == 0 {
+		maxBatch = sess.srv.cfg.maxBatchBlocks()
+	}
+	queueDepth := 4
+	if maxBatch > queueDepth {
+		queueDepth = maxBatch
+	}
+
 	// Per-stream block queues and writer goroutines. Payloads ride in
 	// pooled buffers: the reader below fills one per block, and the
-	// writer that receives it owns it — it returns the buffer to the
-	// pool once the bytes are written (or dropped during a drain), so
-	// the steady-state path allocates nothing per block.
-	type block struct {
-		header blockHeader
-		buf    *[]byte // pooled payload; owned by the receiving writer
-	}
-	queues := make([]chan block, len(streams))
+	// writer that receives it owns it, so the steady-state path
+	// allocates nothing per block. Each batch becomes one writev:
+	// headers live in a per-writer slab and interleave with payloads in
+	// a net.Buffers that reaches the socket without flattening.
+	queues := make([]chan queuedBlock, len(streams))
 	errs := make([]error, len(streams))
 	var wg sync.WaitGroup
 	for i := range streams {
-		queues[i] = make(chan block, 4)
+		queues[i] = make(chan queuedBlock, queueDepth)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -492,21 +588,57 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 				dst = &deadlineWriter{conn: streams[i], timeout: t}
 			}
 			w := shapedWriter{w: dst, limiters: []*Limiter{perStream, sess.srv.link}}
-			scratch := make([]byte, blockHeaderSize)
-			for b := range queues[i] {
-				if errs[i] == nil {
-					if err := writeBlockHeaderBuf(w, scratch, b.header); err != nil {
+			headers := make([]byte, maxBatch*blockHeaderSize)
+			batch := make([]queuedBlock, 0, maxBatch)
+			// scratch is the stable backing for each batch's vector;
+			// bufs is the consumable header copy handed to WriteBuffers
+			// (the write advances it, leaving scratch's capacity intact).
+			scratch := make(net.Buffers, 0, 2*maxBatch)
+			var bufs net.Buffers
+			for {
+				var open bool
+				batch, open = collectBatch(queues[i], batch, maxBatch)
+				if len(batch) > 0 && errs[i] == nil {
+					scratch = scratch[:0]
+					for j, b := range batch {
+						h := headers[j*blockHeaderSize : (j+1)*blockHeaderSize]
+						encodeBlockHeader(h, b.header)
+						scratch = append(scratch, h, *b.buf)
+					}
+					bufs = scratch
+					if _, err := w.WriteBuffers(&bufs); err != nil {
 						errs[i] = err
-					} else if _, err := w.Write(*b.buf); err != nil {
-						errs[i] = err
+					} else {
+						sess.srv.inst.writevBatches.Inc()
+						sess.srv.inst.writevBlocks.Add(int64(len(batch)))
 					}
 				}
-				putBlockBuf(b.buf)
+				for _, b := range batch {
+					putBlockBuf(b.buf)
+				}
+				if !open {
+					return
+				}
 			}
 		}(i)
 	}
 
-	crc := crc32.New(crcTable)
+	// The whole-range CRC is built by combining per-block CRCs with the
+	// precomputed advance operator. When the store can vouch for the
+	// file's identity and the range is block-aligned, block CRCs come
+	// from (and feed) the sidecar cache, so repeat serves of an
+	// unchanged file skip the hash pass over payload bytes.
+	var sidecar *crcSidecar
+	if sess.srv.crcSidecars != nil && req.Offset%int64(blockSize) == 0 {
+		if v, ok := sess.srv.cfg.Store.(Versioner); ok {
+			if size, mtime, ok := v.Version(req.Name); ok {
+				sidecar = sess.srv.crcSidecars.open(req.Name, size, mtime, blockSize)
+			}
+		}
+	}
+	var crcState uint32
+	var tailOp crc32Op
+	tailLen := int64(-1)
 	var readErr error
 	offset := req.Offset
 	remaining := req.Length
@@ -528,8 +660,26 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 			readErr = fmt.Errorf("short read on %s at %d: %d of %d", req.Name, offset, read, n)
 			break
 		}
-		crc.Write(payload)
-		queues[blockIdx%len(queues)] <- block{
+		bcrc, cached := sidecar.lookup(offset, n)
+		if cached {
+			sess.srv.inst.crcCacheHits.Inc()
+		} else {
+			bcrc = crc32.Checksum(payload, crcTable)
+			if sidecar != nil {
+				sidecar.store(offset, n, bcrc)
+				sess.srv.inst.crcCacheMisses.Inc()
+			}
+		}
+		if n == int64(blockSize) {
+			crcState = sess.srv.blockOp.combine(crcState, bcrc)
+		} else {
+			if n != tailLen {
+				tailOp = makeCRC32Op(n)
+				tailLen = n
+			}
+			crcState = tailOp.combine(crcState, bcrc)
+		}
+		queues[blockIdx%len(queues)] <- queuedBlock{
 			header: blockHeader{ReqID: req.ID, Offset: uint64(offset), Length: uint32(n)},
 			buf:    bufp,
 		}
@@ -552,7 +702,7 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 	sess.srv.bytesServed.Add(req.Length)
 	sess.srv.inst.requestsServed.Inc()
 	sess.srv.inst.bytesServed.Add(req.Length)
-	doneQueue.Push(fmt.Sprintf("%s %d %d\n", respDone, req.ID, crc.Sum32()))
+	doneQueue.Push(fmt.Sprintf("%s %d %d\n", respDone, req.ID, crcState))
 	return nil
 }
 
@@ -569,6 +719,16 @@ func (d *deadlineWriter) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	return d.conn.Write(p)
+}
+
+// WriteBuffers implements buffersWriter: the vectored write reaches the
+// connection as net.Buffers (a single writev on TCP) under the same
+// rolling deadline as Write.
+func (d *deadlineWriter) WriteBuffers(bufs *net.Buffers) (int64, error) {
+	if err := d.conn.SetWriteDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	return bufs.WriteTo(d.conn)
 }
 
 func (sess *serverSession) close() {

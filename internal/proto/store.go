@@ -23,6 +23,17 @@ type Store interface {
 	ReadAt(name string, p []byte, off int64) (int, error)
 }
 
+// Versioner is an optional Store extension: stores that can report a
+// file's current identity (size plus a modification token) enable the
+// server's CRC sidecar cache, which skips re-hashing payload bytes on
+// repeat serves of an unchanged file. mtime is any value that changes
+// whenever the content may have (a filesystem mtime in UnixNano;
+// immutable stores return a constant). Stores without the method are
+// simply never cached.
+type Versioner interface {
+	Version(name string) (size int64, mtime int64, ok bool)
+}
+
 // DirStore serves real files from a directory tree.
 type DirStore struct {
 	Root string
@@ -73,6 +84,23 @@ func (s DirStore) ReadAt(name string, p []byte, off int64) (int, error) {
 	return f.ReadAt(p, off)
 }
 
+// Version implements Versioner from the file's stat: size plus mtime in
+// UnixNano. A rewrite that preserves both within the filesystem's mtime
+// granularity is indistinguishable — the same caveat every
+// mtime-keyed cache (rsync, make, build systems) carries, and the
+// client's end-to-end checksum still catches a stale answer.
+func (s DirStore) Version(name string) (int64, int64, bool) {
+	clean := filepath.Clean(filepath.FromSlash(name))
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return 0, 0, false
+	}
+	info, err := os.Stat(filepath.Join(s.Root, clean))
+	if err != nil || info.IsDir() {
+		return 0, 0, false
+	}
+	return info.Size(), info.ModTime().UnixNano(), true
+}
+
 // SynthStore serves deterministic pseudo-random content for a synthetic
 // dataset — the substitute for the paper's testbed filesystems when no
 // real data is present. Content depends only on (file name, offset), so
@@ -100,6 +128,18 @@ func (s *SynthStore) List() ([]dataset.File, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]dataset.File(nil), s.order...), nil
+}
+
+// Version implements Versioner. Synthetic content is a pure function of
+// (name, offset), so the identity is the size with a constant mtime.
+func (s *SynthStore) Version(name string) (int64, int64, bool) {
+	s.mu.RLock()
+	size, ok := s.files[name]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, 0, false
+	}
+	return int64(size), 0, true
 }
 
 // ReadAt implements Store.
@@ -163,6 +203,17 @@ type Sink interface {
 	Close(name string) error
 }
 
+// Preallocator is an optional Sink extension: sinks that can reserve a
+// file's final size up front implement it, and the client calls it once
+// per issued GET before the first WriteAt. Preallocating turns the
+// out-of-order striped writes into writes inside an already-sized file
+// instead of a sequence of file extensions (each a metadata update on
+// most filesystems). Implementations must be idempotent — re-fetches
+// after a checksum failure preallocate the same file again.
+type Preallocator interface {
+	Preallocate(name string, size int64) error
+}
+
 // DirSink writes received files into a directory tree.
 type DirSink struct {
 	Root string
@@ -207,6 +258,37 @@ func (s *DirSink) WriteAt(name string, p []byte, off int64) (int, error) {
 	return f.WriteAt(p, off)
 }
 
+// partialMarkerSuffix marks a destination file whose length no longer
+// reflects its progress: preallocation sizes the file before its bytes
+// arrive, so an interrupted transfer leaves a full-length file with
+// holes. The marker is created before the truncate and removed on
+// Close; ResumeRanges treats a marked file as absent (refetch whole)
+// instead of trusting its length.
+const partialMarkerSuffix = ".eta-partial"
+
+// Preallocate implements Preallocator: it sizes the destination file
+// with one Truncate before the first WriteAt, dropping a partial marker
+// until Close declares the content complete.
+func (s *DirSink) Preallocate(name string, size int64) error {
+	f, err := s.file(name)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	marker, err := os.Create(f.Name() + partialMarkerSuffix)
+	if err != nil {
+		return err
+	}
+	marker.Close()
+	if info.Size() == size {
+		return nil
+	}
+	return f.Truncate(size)
+}
+
 // Close implements Sink. Closing a file that never received a block
 // (a zero-byte file) creates it empty.
 func (s *DirSink) Close(name string) error {
@@ -215,14 +297,19 @@ func (s *DirSink) Close(name string) error {
 	delete(s.open, name)
 	s.mu.Unlock()
 	if !ok {
-		f, err := s.file(name)
-		if err != nil {
+		var err error
+		if f, err = s.file(name); err != nil {
 			return err
 		}
 		s.mu.Lock()
 		delete(s.open, name)
 		s.mu.Unlock()
-		return f.Close()
+	}
+	// The content is complete: lift the partial marker (if preallocation
+	// ever dropped one) before releasing the handle.
+	if err := os.Remove(f.Name() + partialMarkerSuffix); err != nil && !os.IsNotExist(err) {
+		f.Close()
+		return err
 	}
 	return f.Close()
 }

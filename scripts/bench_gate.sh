@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# bench_gate.sh — throughput regression gate for the proto data plane.
+#
+#   scripts/bench_gate.sh                 # run + compare against results/bench_baseline.json
+#   scripts/bench_gate.sh --rebaseline    # run + rewrite the committed baseline
+#   BENCH_TOLERANCE_PCT=25 scripts/bench_gate.sh
+#   BENCH_PATTERN='LoopbackVectored' scripts/bench_gate.sh
+#
+# Runs the loopback benchmarks through bench.sh, archives the result as
+# the next free BENCH_<n>.json at the repo root, and fails if any
+# benchmark present in the baseline dropped more than BENCH_TOLERANCE_PCT
+# percent (default 15) in MB/s — or vanished entirely. Benchmarks that
+# exist only in the new run are recorded but not gated, so adding a
+# benchmark does not require a baseline refresh in the same change.
+#
+# Loopback throughput is machine-relative: the committed baseline tracks
+# the hardware CI runs on, and the default tolerance absorbs its normal
+# run-to-run noise. After a hardware change — or a deliberate perf
+# change — refresh with --rebaseline and commit the result.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH_PATTERN:-ProtoLoopback|LoopbackVectored}"
+tolerance="${BENCH_TOLERANCE_PCT:-15}"
+baseline="results/bench_baseline.json"
+
+echo "== running benchmarks ($pattern)"
+out="$(scripts/bench.sh "$pattern")"
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+printf '%s\n' "$out" >"BENCH_${n}.json"
+echo "== wrote BENCH_${n}.json"
+
+if [ "${1:-}" = "--rebaseline" ]; then
+    mkdir -p results
+    printf '%s\n' "$out" >"$baseline"
+    echo "== rebaselined $baseline"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "no $baseline — run scripts/bench_gate.sh --rebaseline and commit it" >&2
+    exit 1
+fi
+
+printf '%s\n' "$out" | awk -v tol="$tolerance" -v base="$baseline" '
+function jname(line) {
+    if (match(line, /"name":"[^"]+"/))
+        return substr(line, RSTART + 8, RLENGTH - 9)
+    return ""
+}
+function jmbs(line) {
+    if (match(line, /"MB_per_s":[0-9.]+/))
+        return substr(line, RSTART + 11, RLENGTH - 11) + 0
+    return -1
+}
+BEGIN {
+    while ((getline line < base) > 0) {
+        n = jname(line); m = jmbs(line)
+        if (n != "" && m > 0) want[n] = m
+    }
+    close(base)
+}
+{
+    n = jname($0); m = jmbs($0)
+    if (n == "" || m < 0) next
+    if (!(n in want)) {
+        printf "%-32s %9.2f MB/s (no baseline, recorded only)\n", n, m
+        next
+    }
+    floor = want[n] * (1 - tol / 100)
+    printf "%-32s %9.2f MB/s (baseline %.2f, floor %.2f)\n", n, m, want[n], floor
+    if (m < floor) {
+        bad = 1
+        printf "REGRESSION: %s fell more than %s%% below its baseline\n", n, tol
+    }
+    seen[n] = 1
+}
+END {
+    for (n in want)
+        if (!(n in seen)) {
+            bad = 1
+            printf "MISSING: baseline benchmark %s did not run\n", n
+        }
+    exit bad
+}
+'
+echo "bench gate OK (tolerance ${tolerance}%)"

@@ -41,6 +41,21 @@ if [ -n "$bad_deps" ]; then
     exit 1
 fi
 
+echo "== proto dependency audit (stdlib + first-party allowlist)"
+# The data plane must stay stdlib-plus-first-party: its hot paths lean
+# on exact stdlib behaviour (net.Buffers writev, sync.Pool, hash/crc32)
+# and a third-party dependency creeping in here would be the first place
+# supply-chain risk meets every byte transferred. The allowlist is the
+# current closure; extending it is a reviewed decision, not an accident.
+proto_allow='^github.com/didclab/eta/internal/(proto|obs|units|dataset|transfer|endsys|netem|power|netpower|testbed)$'
+bad_deps="$(go list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./internal/proto \
+    | grep -v '^$' | grep -Ev "$proto_allow" || true)"
+if [ -n "$bad_deps" ]; then
+    echo "internal/proto must only depend on the stdlib and allow-listed first-party packages, found:" >&2
+    echo "$bad_deps" >&2
+    exit 1
+fi
+
 echo "== gofmt"
 # testdata fixtures are excluded: they are analyzer inputs, not code.
 unformatted="$(find . -name '*.go' -not -path '*/testdata/*' -not -path './.git/*' -print0 | xargs -0 gofmt -l)"
