@@ -1,7 +1,14 @@
 // Command vettool is the project's multichecker: a `go vet -vettool`
 // binary bundling the invariant analyzers under internal/analysis that
-// turn the determinism, buffer-ownership and scheduling rules of
-// DESIGN.md §6–§7 into machine-checked CI gates (scripts/lint.sh).
+// turn the determinism, buffer-ownership, deadline-I/O, error-taxonomy
+// and telemetry-hygiene rules of DESIGN.md §6–§9 into machine-checked
+// CI gates (scripts/lint.sh). Analyzers exchange per-object facts
+// through the vet .vetx channel, so interprocedural properties
+// (pool-releasing helpers, deadline-disciplined forwarders, sentinel
+// errors, bounded label sources) survive package boundaries.
+//
+// The analyzer list below is mirrored in DESIGN.md §7.1; CI asserts
+// the two stay in sync.
 //
 // Usage:
 //
@@ -11,17 +18,28 @@ package main
 
 import (
 	"github.com/didclab/eta/internal/analysis/bufown"
+	"github.com/didclab/eta/internal/analysis/deadlineio"
+	"github.com/didclab/eta/internal/analysis/errclass"
+	"github.com/didclab/eta/internal/analysis/framework"
 	"github.com/didclab/eta/internal/analysis/mapfloatsum"
+	"github.com/didclab/eta/internal/analysis/metriclint"
 	"github.com/didclab/eta/internal/analysis/nakedgo"
 	"github.com/didclab/eta/internal/analysis/nodeterm"
 	"github.com/didclab/eta/internal/analysis/unitchecker"
 )
 
+// analyzers is the full suite; kept as a slice so tests can count it
+// against the DESIGN §7.1 table.
+var analyzers = []*framework.Analyzer{
+	mapfloatsum.Analyzer,
+	nodeterm.Analyzer,
+	bufown.Analyzer,
+	nakedgo.Analyzer,
+	deadlineio.Analyzer,
+	errclass.Analyzer,
+	metriclint.Analyzer,
+}
+
 func main() {
-	unitchecker.Main(
-		mapfloatsum.Analyzer,
-		nodeterm.Analyzer,
-		bufown.Analyzer,
-		nakedgo.Analyzer,
-	)
+	unitchecker.Main(analyzers...)
 }

@@ -10,3 +10,16 @@ import (
 func TestBufOwn(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), bufown.Analyzer, "bufownfix")
 }
+
+// TestBufOwnHelpers is the v1 blind-spot regression: buffers released
+// by helpers (tracked via ReleasesFact/SourceFact) must not be flagged,
+// and the facts themselves are asserted so a neutered fixpoint fails.
+func TestBufOwnHelpers(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), bufown.Analyzer, "bufownhelper")
+}
+
+// TestBufOwnEscapes covers the internal/proto-only escape rules; the
+// fixture path places the package under the data plane.
+func TestBufOwnEscapes(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), bufown.Analyzer, "internal/proto/escfix")
+}

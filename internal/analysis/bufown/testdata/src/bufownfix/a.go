@@ -55,11 +55,72 @@ func handoffChannel(n int) {
 	close(ch)
 }
 
-// handoffAnnotated hands the buffer to the caller: the directive names
-// the new owner, silencing the diagnostic.
-func handoffAnnotated(n int) *[]byte {
-	//lint:allow bufown handoff: caller releases via putBlockBuf
-	return getBlockBuf(n)
+// handoffBlind sends the buffer away with no putBlockBuf anywhere in
+// the function: nobody visible owns the release.
+func handoffBlind(n int, ch chan *[]byte) {
+	ch <- getBlockBuf(n) // want `handed off out of handoffBlind with no putBlockBuf`
+}
+
+// handoffAnnotated hands the buffer to a channel whose receiver is
+// elsewhere: the directive names the new owner.
+func handoffAnnotated(n int, ch chan *[]byte) {
+	//lint:allow bufown handoff: channel receiver releases via putBlockBuf
+	ch <- getBlockBuf(n)
+}
+
+// useAfterPut reads the buffer after releasing it: by then the pool
+// may have handed it to another stream.
+func useAfterPut(n int) int {
+	bufp := getBlockBuf(n)
+	putBlockBuf(bufp)
+	return len(*bufp) // want `use of bufp after putBlockBuf`
+}
+
+// doublePut releases the same buffer twice: two future getBlockBuf
+// callers would receive the same backing array.
+func doublePut(n int) {
+	bufp := getBlockBuf(n)
+	putBlockBuf(bufp)
+	putBlockBuf(bufp) // want `bufp released twice`
+}
+
+// growSwap is the legal put-then-reacquire shape used by the client
+// stream loop when a block exceeds the buffer: reassignment revives
+// the variable.
+func growSwap(n, m int) int {
+	bufp := getBlockBuf(n)
+	if m > n {
+		putBlockBuf(bufp)
+		bufp = getBlockBuf(m)
+	}
+	v := len(*bufp)
+	putBlockBuf(bufp)
+	return v
+}
+
+// deferCapture is growSwap with the release deferred the wrong way:
+// defer evaluates bufp immediately, so after the swap the original
+// buffer is released twice and the replacement leaks.
+func deferCapture(n, m int) int {
+	bufp := getBlockBuf(n)
+	defer putBlockBuf(bufp) // want `captures the pointer at defer time`
+	if m > n {
+		putBlockBuf(bufp)
+		bufp = getBlockBuf(m)
+	}
+	return len(*bufp)
+}
+
+// deferClosure is the correct deferred form: the closure reads bufp
+// when the function returns, after any swap.
+func deferClosure(n, m int) int {
+	bufp := getBlockBuf(n)
+	defer func() { putBlockBuf(bufp) }()
+	if m > n {
+		putBlockBuf(bufp)
+		bufp = getBlockBuf(m)
+	}
+	return len(*bufp)
 }
 
 // unrelated never touches the pool: no diagnostic.

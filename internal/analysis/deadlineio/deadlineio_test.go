@@ -1,0 +1,14 @@
+package deadlineio_test
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/analysis/analysistest"
+	"github.com/didclab/eta/internal/analysis/deadlineio"
+)
+
+// TestDeadlineIO runs under an internal/proto fixture path, where the
+// analyzer is active.
+func TestDeadlineIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), deadlineio.Analyzer, "internal/proto/deadlinefix")
+}

@@ -1,0 +1,18 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/analysis/analysistest"
+	"github.com/didclab/eta/internal/analysis/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errclass.Analyzer, "errclassfix")
+}
+
+// TestErrClassWrap covers the %w rule, active only under the
+// internal/proto fixture path.
+func TestErrClassWrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errclass.Analyzer, "internal/proto/wrapfix")
+}

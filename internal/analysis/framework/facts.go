@@ -1,0 +1,265 @@
+// Facts: cross-package analysis state, modeled on go/analysis object
+// facts. An analyzer computes a fact about a types.Object while
+// analyzing the package that declares it (ExportObjectFact); when a
+// dependent package is analyzed later — typically in another process
+// under the `go vet -vettool` protocol — the fact is recovered from
+// the producer's serialized output (ImportObjectFact). Facts are
+// scoped per analyzer: bufown cannot see errclass facts.
+//
+// Serialization is JSON, not gob: the vetx files cmd/go shuttles
+// between units are opaque to it, and JSON keeps them inspectable when
+// debugging a cache-key mismatch. Objects are addressed by a
+// simplified object path — `Name` for package-scope objects,
+// `Recv.Name` for methods — which covers every fact this suite
+// exports; objects that cannot be addressed (locals, fields) simply
+// do not round-trip and must not carry exported facts.
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is implemented by any analyzer-defined fact type. The marker
+// method keeps arbitrary values from being exported by accident; the
+// concrete type must also marshal to JSON (exported fields).
+type Fact interface{ AFact() }
+
+// FactRecord is the address-and-shape of one serialized fact, used for
+// the vetx wire format and for the ETA_FACTS_LOG audit trail.
+type FactRecord struct {
+	Pkg      string          `json:"pkg"`      // normalized package path
+	Obj      string          `json:"obj"`      // object path: "Name" or "Recv.Name"
+	Analyzer string          `json:"analyzer"` // producing analyzer
+	Type     string          `json:"type"`     // concrete fact type name
+	Data     json.RawMessage `json:"data"`     // JSON of the fact value
+}
+
+func (r FactRecord) key() string {
+	return r.Pkg + "\x00" + r.Obj + "\x00" + r.Analyzer + "\x00" + r.Type
+}
+
+// ObjectFact pairs a live types.Object with a fact exported for it
+// during the current run.
+type ObjectFact struct {
+	Obj      types.Object
+	Analyzer string
+	Fact     Fact
+}
+
+// FactStore holds the facts visible to one compilation unit: those
+// imported from dependency vetx files and those exported while
+// analyzing the unit itself.
+type FactStore struct {
+	imported map[string]FactRecord // key() → record, from dependencies
+	local    []ObjectFact          // exported during this run, in order
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{imported: make(map[string]FactRecord)}
+}
+
+// vetx wire format. Version guards future shape changes; decoders
+// ignore files they do not understand (including the pre-facts
+// "no facts\n" placeholder) rather than failing the build.
+type vetxFile struct {
+	Version int          `json:"version"`
+	Facts   []FactRecord `json:"facts"`
+}
+
+// AddImported merges one dependency's serialized facts into the store.
+// Undecodable input is ignored: a dependency built by an older tool
+// must not break the unit, it just contributes no facts.
+func (s *FactStore) AddImported(data []byte) {
+	var f vetxFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Version != 1 {
+		return
+	}
+	for _, r := range f.Facts {
+		s.imported[r.key()] = r
+	}
+}
+
+// Encode serializes the transitive fact closure — imported facts are
+// re-exported alongside local ones so a unit's vetx is self-contained
+// and dependents need only their direct deps' files. Output is
+// deterministic (sorted) so identical inputs hash identically in the
+// build cache.
+func (s *FactStore) Encode() []byte {
+	byKey := make(map[string]FactRecord, len(s.imported)+len(s.local))
+	for k, r := range s.imported {
+		byKey[k] = r
+	}
+	for _, of := range s.local {
+		r, ok := recordOf(of)
+		if !ok {
+			continue // unaddressable object: local-only fact
+		}
+		byKey[r.key()] = r
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := vetxFile{Version: 1, Facts: make([]FactRecord, 0, len(keys))}
+	for _, k := range keys {
+		out.Facts = append(out.Facts, byKey[k])
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		// Fact types are analyzer-defined structs; marshal failure is a
+		// programming error, but corrupting the vetx would poison the
+		// build cache, so degrade to an empty (valid) file.
+		data, _ = json.Marshal(vetxFile{Version: 1})
+	}
+	return append(data, '\n')
+}
+
+// ImportedRecords returns the imported facts sorted by key, for the
+// audit log and tests.
+func (s *FactStore) ImportedRecords() []FactRecord {
+	out := make([]FactRecord, 0, len(s.imported))
+	for _, r := range s.imported {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// ExportedRecords returns the addressable facts exported during this
+// run, sorted, for the audit log and tests.
+func (s *FactStore) ExportedRecords() []FactRecord {
+	var out []FactRecord
+	for _, of := range s.local {
+		if r, ok := recordOf(of); ok {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// ExportedFacts returns every fact exported during this run —
+// including locals that do not serialize — for analysistest's
+// `// want fact:"..."` assertions.
+func (s *FactStore) ExportedFacts() []ObjectFact {
+	return s.local
+}
+
+func recordOf(of ObjectFact) (FactRecord, bool) {
+	obj := of.Obj
+	if obj == nil || obj.Pkg() == nil {
+		return FactRecord{}, false
+	}
+	path, ok := objPath(obj)
+	if !ok {
+		return FactRecord{}, false
+	}
+	data, err := json.Marshal(of.Fact)
+	if err != nil {
+		return FactRecord{}, false
+	}
+	return FactRecord{
+		Pkg:      NormalizePkgPath(obj.Pkg().Path()),
+		Obj:      path,
+		Analyzer: of.Analyzer,
+		Type:     factTypeName(of.Fact),
+		Data:     data,
+	}, true
+}
+
+// objPath addresses the objects this suite exports facts for:
+// package-scope names and methods on package-scope named types.
+func objPath(obj types.Object) (string, bool) {
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// ExportObjectFact associates fact with obj for the current analyzer.
+// obj must belong to the package under analysis; facts about imported
+// objects belong to the unit that declares them.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || fact == nil || p.store == nil {
+		return
+	}
+	if p.Pkg != nil && obj.Pkg() != nil && obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact: %s is not declared in the package under analysis", p.Analyzer.Name, obj.Name()))
+	}
+	name := factTypeName(fact)
+	for i, of := range p.store.local {
+		if of.Obj == obj && of.Analyzer == p.Analyzer.Name && factTypeName(of.Fact) == name {
+			p.store.local[i].Fact = fact
+			return
+		}
+	}
+	p.store.local = append(p.store.local, ObjectFact{Obj: obj, Analyzer: p.Analyzer.Name, Fact: fact})
+}
+
+// ImportObjectFact copies into fact (which must be a non-nil pointer)
+// the fact of fact's concrete type previously exported for obj by this
+// analyzer — in this run for local objects, or from a dependency's
+// serialized facts for imported ones. It reports whether a fact was
+// found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || fact == nil || p.store == nil {
+		return false
+	}
+	name := factTypeName(fact)
+	// Local first: covers the package under analysis, where objects
+	// never appear in the imported table.
+	for _, of := range p.store.local {
+		if of.Obj == obj && of.Analyzer == p.Analyzer.Name && factTypeName(of.Fact) == name {
+			dst := reflect.ValueOf(fact)
+			src := reflect.ValueOf(of.Fact)
+			if dst.Kind() == reflect.Pointer && src.Kind() == reflect.Pointer && dst.Type() == src.Type() {
+				dst.Elem().Set(src.Elem())
+				return true
+			}
+			return false
+		}
+	}
+	if obj.Pkg() == nil || (p.Pkg != nil && obj.Pkg() == p.Pkg) {
+		return false
+	}
+	path, ok := objPath(obj)
+	if !ok {
+		return false
+	}
+	r := FactRecord{
+		Pkg:      NormalizePkgPath(obj.Pkg().Path()),
+		Obj:      path,
+		Analyzer: p.Analyzer.Name,
+		Type:     name,
+	}
+	stored, ok := p.store.imported[r.key()]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(stored.Data, fact) == nil
+}

@@ -1,0 +1,116 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+type demoFact struct {
+	Params []int
+}
+
+func (demoFact) AFact() {}
+
+func typecheck(t *testing.T, path, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{file}, pkg, info
+}
+
+// TestFactRoundTrip exports a fact for a package-scope function and a
+// method, serializes the store, and re-imports both from the wire form
+// as a dependent unit would.
+func TestFactRoundTrip(t *testing.T) {
+	const src = `package a
+
+type T struct{}
+
+func (T) M() {}
+
+func F() {}
+`
+	fset, files, pkg, info := typecheck(t, "example.com/a", src)
+
+	producer := NewFactStore()
+	exporter := &Analyzer{
+		Name: "demo",
+		Doc:  "exports demo facts",
+		Run: func(pass *Pass) error {
+			fObj := pass.Pkg.Scope().Lookup("F")
+			pass.ExportObjectFact(fObj, &demoFact{Params: []int{0, 2}})
+			tObj := pass.Pkg.Scope().Lookup("T").(*types.TypeName)
+			m, _, _ := types.LookupFieldOrMethod(tObj.Type(), true, pass.Pkg, "M")
+			pass.ExportObjectFact(m, &demoFact{Params: []int{1}})
+			// Round-trip within the same run must hit the local table.
+			var got demoFact
+			if !pass.ImportObjectFact(fObj, &got) || len(got.Params) != 2 {
+				t.Errorf("local ImportObjectFact = %v, want Params [0 2]", got)
+			}
+			return nil
+		},
+	}
+	if _, err := Run(fset, files, pkg, info, []*Analyzer{exporter}, producer); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := producer.ExportedRecords()
+	if len(recs) != 2 {
+		t.Fatalf("ExportedRecords = %v, want 2 entries", recs)
+	}
+	if recs[0].Obj != "F" || recs[1].Obj != "T.M" {
+		t.Fatalf("object paths = %q, %q; want F, T.M", recs[0].Obj, recs[1].Obj)
+	}
+
+	wire := producer.Encode()
+	if !strings.Contains(string(wire), `"analyzer":"demo"`) {
+		t.Fatalf("encoded vetx missing analyzer field: %s", wire)
+	}
+
+	// A dependent unit loads the producer's vetx and resolves facts for
+	// the (now imported) objects.
+	consumer := NewFactStore()
+	consumer.AddImported(wire)
+	pass := &Pass{
+		Analyzer: exporter,
+		Pkg:      types.NewPackage("example.com/b", "b"),
+		store:    consumer,
+	}
+	var got demoFact
+	if !pass.ImportObjectFact(pkg.Scope().Lookup("F"), &got) {
+		t.Fatal("ImportObjectFact(F) found nothing after round-trip")
+	}
+	if len(got.Params) != 2 || got.Params[0] != 0 || got.Params[1] != 2 {
+		t.Fatalf("imported fact = %+v, want Params [0 2]", got)
+	}
+
+	// Wrong analyzer name must not see the fact.
+	other := &Pass{Analyzer: &Analyzer{Name: "other"}, Pkg: pass.Pkg, store: consumer}
+	if other.ImportObjectFact(pkg.Scope().Lookup("F"), &demoFact{}) {
+		t.Fatal("fact leaked across analyzer namespaces")
+	}
+}
+
+// TestAddImportedTolerant: pre-facts vetx placeholders and garbage must
+// be ignored, not fatal — older tool output sits in the build cache.
+func TestAddImportedTolerant(t *testing.T) {
+	s := NewFactStore()
+	s.AddImported([]byte("no facts\n"))
+	s.AddImported([]byte(`{"version":99,"facts":[{"pkg":"p","obj":"O","analyzer":"a","type":"T","data":{}}]}`))
+	s.AddImported(nil)
+	if n := len(s.ImportedRecords()); n != 0 {
+		t.Fatalf("tolerant decode admitted %d records, want 0", n)
+	}
+}

@@ -56,6 +56,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	store *FactStore
 	diags []Diagnostic
 }
 
@@ -84,12 +85,17 @@ func NewInfo() *types.Info {
 // Run applies every analyzer to the package and returns the surviving
 // diagnostics sorted by position, with //lint:allow-suppressed findings
 // removed. Files must have been parsed with parser.ParseComments or
-// the directives are invisible.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// the directives are invisible. store supplies facts imported from
+// dependency units and collects facts the analyzers export; nil means
+// "no cross-package state" and a throwaway store is used.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
 	allows := collectAllows(fset, files)
 	var out []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, store: store}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}

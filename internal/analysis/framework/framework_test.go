@@ -71,7 +71,7 @@ func g() {}
 			return nil
 		},
 	}
-	diags, err := Run(fset, []*ast.File{file}, nil, nil, []*Analyzer{demo})
+	diags, err := Run(fset, []*ast.File{file}, nil, nil, []*Analyzer{demo}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,12 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"github.com/didclab/eta/internal/analysis/analysistest"
+	"github.com/didclab/eta/internal/analysis/metriclint"
+)
+
+func TestMetricLint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), metriclint.Analyzer, "metriclintfix")
+}

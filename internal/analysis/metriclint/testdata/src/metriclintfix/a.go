@@ -1,0 +1,103 @@
+// Package metriclintfix exercises metriclint's name-hygiene and
+// label-cardinality rules. The obs API surface is mirrored locally:
+// the analyzer matches by receiver type name (Registry, Family, Log),
+// so the fixture needs no imports.
+package metriclintfix
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter                      { return nil }
+func (r *Registry) Gauge(name string) *Counter                        { return nil }
+func (r *Registry) Histogram(name string, bounds ...float64) *Counter { return nil }
+func (r *Registry) Family(name, label string) *Family                 { return nil }
+
+type Family struct{}
+
+func (f *Family) With(value string) *Counter { return nil }
+
+type Log struct{}
+
+func (l *Log) Emit(typ string, kv ...any) {}
+
+// Kind is a named string type: values are an enum by convention, so a
+// conversion from it is a bounded label value.
+type Kind string
+
+const evRetry = "retry_scheduled"
+
+func names(r *Registry, dyn string) {
+	r.Counter("bytes_total")                    // constant snake_case: ok
+	r.Gauge("inflight")                         // single word: ok
+	r.Histogram("rtt_seconds", 0.01, 0.1, 1)    // bounds unchecked: ok
+	r.Family("retries_by_cause", "cause")       // name and label both checked: ok
+	r.Counter("BytesTotal")                     // want `metric name "BytesTotal" is not snake_case`
+	r.Counter("bytes-total")                    // want `metric name "bytes-total" is not snake_case`
+	r.Family("faults", "Kind")                  // want `label key "Kind" is not snake_case`
+	r.Counter(dyn)                              // want `metric name must be a compile-time constant`
+	r.Counter("prefix_" + dyn)                  // want `metric name must be a compile-time constant`
+	r.Counter("prefix_" + "suffix")             // constant folding: ok
+	name := "queued_total"
+	r.Counter(name) // local var with only constant snake sources: ok
+}
+
+// counter is an unexported helper: every in-package call site passes a
+// constant snake_case name, so the forwarded parameter is clean.
+func counter(r *Registry, name string) *Counter {
+	return r.Counter(name)
+}
+
+// badCounter is fed a non-snake constant at a call site below, so the
+// registry call inside the helper is flagged.
+func badCounter(r *Registry, name string) *Counter {
+	return r.Counter(name) // want `metric name "CamelCase" is not snake_case`
+}
+
+func useHelpers(r *Registry) {
+	counter(r, "blocks_total")
+	counter(r, "acks_total")
+	badCounter(r, "CamelCase")
+}
+
+// Exported returns are invisible to in-package callers, so a name
+// forwarded through an exported function cannot be proven constant.
+func RegisterAny(r *Registry, name string) *Counter {
+	return r.Counter(name) // want `metric name must be a compile-time constant`
+}
+
+// causeOf returns only compile-time constants, so it is a bounded
+// source for label values.
+func causeOf(err error) string { // want fact:`causeOf:bounded`
+	if err == nil {
+		return "none"
+	}
+	return "transport"
+}
+
+// rawMessage forwards arbitrary text: unbounded.
+func rawMessage(err error) string {
+	return err.Error()
+}
+
+func labels(f *Family, err error, k Kind, user string) {
+	f.With("stall")          // constant: ok
+	f.With(string(k))        // named string type conversion: ok
+	f.With(causeOf(err))     // bounded helper: ok
+	f.With(rawMessage(err))  // want `label value is unbounded`
+	f.With(user)             // want `label value is unbounded`
+	f.With(string([]byte{})) // want `label value is unbounded`
+	cause := causeOf(err)
+	f.With(cause) // local var with bounded sources: ok
+}
+
+func events(l *Log, sid int, remote string, kv []any) {
+	l.Emit("channel_dialed", "sid", sid, "remote", remote) // ok
+	l.Emit(evRetry, "attempt", 1)                          // named constant: ok
+	l.Emit("BadType")                                      // want `event type "BadType" is not snake_case`
+	l.Emit("ok_event", "BadKey", 1)                        // want `event key "BadKey" is not snake_case`
+	l.Emit("ok_event", remote, 1)                          // want `event key must be a compile-time constant`
+	l.Emit("spread_event", kv...)                          // spread kv: keys unverifiable, skipped
+}

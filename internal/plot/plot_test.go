@@ -2,6 +2,8 @@ package plot
 
 import (
 	"encoding/xml"
+	"errors"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -26,7 +28,7 @@ func TestSVGIsWellFormedXML(t *testing.T) {
 	for {
 		_, err := dec.Token()
 		if err != nil {
-			if err.Error() == "EOF" {
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			t.Fatalf("SVG is not well-formed XML: %v", err)

@@ -143,7 +143,12 @@ func (c *Client) List() ([]dataset.File, error) {
 	}
 	arm()
 	if verb, _, err := readLine(br); err != nil || verb != respOK {
-		return nil, fmt.Errorf("proto: handshake failed (verb %q, err %v)", verb, err)
+		if err != nil {
+			// %w, not %v: callers classify with errors.Is (net timeouts,
+			// io.EOF), and a stripped chain would misbook the retry cause.
+			return nil, fmt.Errorf("proto: handshake failed: %w", err)
+		}
+		return nil, fmt.Errorf("proto: handshake failed (verb %q)", verb)
 	}
 	if _, err := io.WriteString(conn, cmdList+"\n"); err != nil {
 		return nil, err
@@ -324,9 +329,15 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	}
 	armCtrl()
 	verb, fields, err := readLine(ch.br)
-	if err != nil || verb != respOK || len(fields) != 1 {
+	if err != nil {
 		ctrl.Close()
-		return nil, fmt.Errorf("proto: handshake failed (verb %q, err %v)", verb, err)
+		// %w keeps the cause visible to errors.Is so the executor books
+		// the retry under the right budget (timeout vs transport).
+		return nil, fmt.Errorf("proto: handshake failed: %w", err)
+	}
+	if verb != respOK || len(fields) != 1 {
+		ctrl.Close()
+		return nil, fmt.Errorf("proto: handshake failed (verb %q fields %v)", verb, fields)
 	}
 	sid, err := strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
@@ -341,10 +352,20 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 			ch.Close()
 			return nil, err
 		}
+		// The DATA handshake is one short write, but a black-holed
+		// server with a full TCP window would park it forever; bound it
+		// like the control reads, then clear — steady-state data conns
+		// are the watchdog's job.
+		if c.StallTimeout > 0 {
+			_ = data.SetWriteDeadline(time.Now().Add(c.StallTimeout))
+		}
 		if _, err := fmt.Fprintf(data, "%s %d %d\n", cmdData, sid, i); err != nil {
 			data.Close()
 			ch.Close()
 			return nil, err
+		}
+		if c.StallTimeout > 0 {
+			_ = data.SetWriteDeadline(time.Time{})
 		}
 		ch.streams = append(ch.streams, progressConn{Conn: data, progress: &ch.progress})
 	}
@@ -355,7 +376,10 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	armCtrl()
 	if verb, fields, err := readLine(ch.br); err != nil || verb != respOK {
 		ch.Close()
-		return nil, fmt.Errorf("proto: OPEN failed (verb %q fields %v err %v)", verb, fields, err)
+		if err != nil {
+			return nil, fmt.Errorf("proto: OPEN failed: %w", err)
+		}
+		return nil, fmt.Errorf("proto: OPEN failed (verb %q fields %v)", verb, fields)
 	}
 	if c.StallTimeout > 0 {
 		// Steady state is watchdog territory: clear the handshake
@@ -368,6 +392,7 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	go ch.controlLoop()
 	for _, s := range ch.streams {
 		ch.wg.Add(1)
+		//lint:allow deadlineio stream conns are progressConn-wrapped; the stall watchdog severs them on progress timeout, unblocking the loop
 		go ch.streamLoop(s)
 	}
 	if c.StallTimeout > 0 {
@@ -422,13 +447,18 @@ func (ch *Channel) streamLoop(conn net.Conn) {
 	// The read buffer matches the expected block size so a full block
 	// (header + payload) is absorbed in a couple of reads instead of
 	// fragmenting across many smaller ones.
+	//lint:allow deadlineio conn is a progressConn counted by the stall watchdog, which closes it when progress stops
 	br := bufio.NewReaderSize(conn, ch.client.blockSize())
 	// One pooled payload buffer and one header scratch per stream for
 	// the connection's lifetime: the steady-state receive path never
 	// allocates per block, and short-lived channels (dial, fetch,
 	// close) recycle each other's buffers through the pool.
 	bufp := getBlockBuf(ch.client.blockSize())
-	defer putBlockBuf(bufp)
+	// Released via closure, not `defer putBlockBuf(bufp)`: the defer
+	// would capture the original pointer, and the grow path below swaps
+	// bufp — the original would be put twice (handing one buffer to two
+	// streams) while the replacement leaked.
+	defer func() { putBlockBuf(bufp) }()
 	scratch := make([]byte, blockHeaderSize)
 	for {
 		h, err := readBlockHeaderBuf(br, scratch)
@@ -451,6 +481,7 @@ func (ch *Channel) streamLoop(conn net.Conn) {
 		if p == nil {
 			continue // request was abandoned
 		}
+		//lint:allow bufown Sink.WriteAt's contract forbids retaining p beyond the call (store.go)
 		if _, err := p.sink.WriteAt(p.name, payload, int64(h.Offset)); err != nil {
 			p.abort(err)
 			continue

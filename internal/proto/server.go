@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -235,6 +236,21 @@ func (s *Server) acceptLoop() {
 // handleConn classifies a connection by its first line: "HELLO" starts
 // a control session, "DATA <sid> <idx>" attaches a data stream.
 func (s *Server) handleConn(conn net.Conn) {
+	// A peer that connects and never finishes the one-line handshake
+	// (or never drains our one-line reply) would otherwise pin this
+	// goroutine forever — before classification there is no session,
+	// so no watchdog or deadlineWriter covers the conn yet.
+	if t := s.cfg.StallTimeout; t > 0 {
+		_ = conn.SetDeadline(time.Now().Add(t))
+	}
+	// disarm clears the handshake deadline before the conn enters
+	// steady state: control sessions idle legitimately between
+	// requests, and data writes arm their own per-write deadlines.
+	disarm := func() {
+		if s.cfg.StallTimeout > 0 {
+			_ = conn.SetDeadline(time.Time{})
+		}
+	}
 	br := bufio.NewReaderSize(conn, 64*1024)
 	verb, fields, err := readLine(br)
 	if err != nil {
@@ -243,6 +259,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	switch verb {
 	case "HELLO":
+		disarm()
 		s.runControl(conn, br)
 	case cmdData:
 		if len(fields) != 2 {
@@ -265,6 +282,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			conn.Close()
 			return
 		}
+		disarm()
 		sess.attachData(idx, conn)
 	default:
 		fmt.Fprintf(conn, "%s expected HELLO or DATA\n", respErr)
@@ -304,7 +322,8 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 		ctrl:    conn,
 		dataGot: make(chan struct{}, 1),
 		reqs:    make(chan getRequest, 1024),
-		bw:      bufio.NewWriter(conn),
+		//lint:allow deadlineio every flush of bw arms SetWriteDeadline on sess.ctrl first (send, sendRaw, LIST)
+		bw: bufio.NewWriter(conn),
 	}
 	s.sessions[sess.sid] = sess
 	s.mu.Unlock()
@@ -649,8 +668,9 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 		}
 		bufp := getBlockBuf(int(n))
 		payload := *bufp
+		//lint:allow bufown Store.ReadAt follows io.ReaderAt, which forbids retaining p
 		read, err := sess.srv.cfg.Store.ReadAt(req.Name, payload, offset)
-		if err != nil && !(err == io.EOF && int64(read) == n) {
+		if err != nil && !(errors.Is(err, io.EOF) && int64(read) == n) {
 			putBlockBuf(bufp)
 			readErr = fmt.Errorf("reading %s at %d: %w", req.Name, offset, err)
 			break

@@ -14,8 +14,28 @@ go build -o "$tmp/vettool" ./cmd/vettool
 echo "== go vet (standard analyzers)"
 go vet ./...
 
-echo "== go vet -vettool (mapfloatsum, nodeterm, bufown, nakedgo)"
+echo "== go vet -vettool (mapfloatsum, nodeterm, bufown, nakedgo, deadlineio, errclass, metriclint)"
+# go vet analyzes the test variant of every package, so _test.go files
+# are under the same rules as production code. Diagnostics are also
+# collected as JSONL (one object per finding) for the CI artifact; set
+# LINT_JSON to keep the file, otherwise it lives in the script tempdir.
+export ETA_LINT_JSON="${LINT_JSON:-$tmp/lint.json}"
+: > "$ETA_LINT_JSON"
 go vet -vettool="$tmp/vettool" ./...
+echo "   diagnostics (JSONL): $ETA_LINT_JSON"
+
+echo "== lint:allow justification audit"
+# Every suppression must record why it is sound after the analyzer
+# list; a bare //lint:allow silences a finding without leaving the
+# reviewer anything to check. Fixtures under testdata are exempt (they
+# exercise the directive itself).
+bare_allows="$(grep -rn --include='*.go' --exclude-dir=testdata --exclude-dir=.git \
+    -E '//lint:allow[[:space:]]+[a-z0-9_,]+[[:space:]]*$' . || true)"
+if [ -n "$bare_allows" ]; then
+    echo "//lint:allow without a trailing justification:" >&2
+    echo "$bare_allows" >&2
+    exit 1
+fi
 
 echo "== obs dependency audit (stdlib only)"
 # The telemetry package must stay dependency-free so every layer can
