@@ -8,6 +8,7 @@
 //
 //	energytransfer -server host:7632 -algo htee -max-channels 8 -out /dst
 //	energytransfer -server host:7632 -algo slaee -sla 0.9 -max-mbps 900 -verify
+//	energytransfer -addrs hostA:7632=2,hostB:7632 -algo go -out /dst
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7632", "xferd address")
+	addrs := flag.String("addrs", "", "weighted xferd replica list (addr, addr=weight or host:port:weight, comma-separated); overrides -server")
 	algo := flag.String("algo", "htee", "algorithm: mine|htee|slaee|guc|go|sc|promc|bf")
 	maxChannels := flag.Int("max-channels", 8, "concurrency budget")
 	sla := flag.Float64("sla", 0.9, "SLAEE throughput target as a fraction of -max-mbps")
@@ -50,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	opts := options{
-		server: *server, algo: *algo, maxChannels: *maxChannels,
+		server: *server, addrs: *addrs, algo: *algo, maxChannels: *maxChannels,
 		sla: *sla, maxMbps: *maxMbps, out: *out, verify: *verify,
 		resume: *resume, checksum: *checksum, retries: *retries,
 		bw: *bw, rtt: *rtt, buf: *buf, samplesOut: *samplesOut,
@@ -63,7 +65,7 @@ func main() {
 
 // options carries the parsed command line.
 type options struct {
-	server, algo        string
+	server, addrs, algo string
 	maxChannels         int
 	sla, maxMbps        float64
 	out                 string
@@ -100,9 +102,24 @@ func run(o options) error {
 	}
 
 	client := &proto.Client{Addr: o.server, Counters: &proto.Counters{}, VerifyChecksums: o.checksum}
+	serversPerSite := 1
+	if o.addrs != "" {
+		eps, err := proto.ParseEndpoints(o.addrs)
+		if err != nil {
+			return fmt.Errorf("-addrs: %w", err)
+		}
+		pool, err := proto.NewEndpointPool(eps...)
+		if err != nil {
+			return fmt.Errorf("-addrs: %w", err)
+		}
+		client.Endpoints = pool
+		// The algorithms' parameter formulas see the replica count the
+		// same way the simulator's GO baseline does.
+		serversPerSite = pool.Len()
+	}
 	files, err := client.List()
 	if err != nil {
-		return fmt.Errorf("listing %s: %w", o.server, err)
+		return fmt.Errorf("listing %s: %w", client.Target(), err)
 	}
 	ds := dataset.Dataset{Files: files}
 	log.Printf("dataset: %d files, %v", ds.Count(), ds.TotalSize())
@@ -158,7 +175,7 @@ func run(o options) error {
 				EffStreamBuffer: bufSize / 8,
 			},
 			MaxChannels:    o.maxChannels,
-			ServersPerSite: 1,
+			ServersPerSite: serversPerSite,
 		},
 		ResumeOffsets: resumeOffsets,
 		MaxRetries:    o.retries,

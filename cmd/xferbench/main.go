@@ -7,6 +7,7 @@
 //
 //	xferbench -server host:7632 -sweep concurrency -values 1,2,4,8
 //	xferbench -server host:7632 -sweep parallelism -values 1,2,4 -per-point 30MB
+//	xferbench -addrs hostA:7632=2,hostB:7632 -sweep concurrency -values 2,4,8
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7632", "xferd address")
+	addrs := flag.String("addrs", "", "weighted xferd replica list (addr, addr=weight or host:port:weight, comma-separated); overrides -server")
 	sweep := flag.String("sweep", "concurrency", "parameter to sweep: concurrency|parallelism|pipelining")
 	valuesStr := flag.String("values", "1,2,4,8", "comma-separated parameter values")
 	perPoint := flag.String("per-point", "64MB", "payload per sweep point")
@@ -40,13 +42,13 @@ func main() {
 	block := flag.Int("block", proto.DefaultBlockSize, "expected server block size in bytes (sizes stream read buffers)")
 	flag.Parse()
 
-	if err := run(*server, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout, *block); err != nil {
+	if err := run(*server, *addrs, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout, *block); err != nil {
 		fmt.Fprintln(os.Stderr, "xferbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration, block int) error {
+func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration, block int) error {
 	values, err := parseValues(valuesStr)
 	if err != nil {
 		return err
@@ -57,6 +59,17 @@ func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metr
 	}
 
 	client := &proto.Client{Addr: server, StallTimeout: stallTimeout, BlockSize: block}
+	if addrs != "" {
+		eps, err := proto.ParseEndpoints(addrs)
+		if err != nil {
+			return fmt.Errorf("-addrs: %w", err)
+		}
+		pool, err := proto.NewEndpointPool(eps...)
+		if err != nil {
+			return fmt.Errorf("-addrs: %w", err)
+		}
+		client.Endpoints = pool
+	}
 	if metricsOut != "" || eventsOut != "" {
 		reg := obs.NewRegistry()
 		var events *obs.Log
@@ -90,7 +103,7 @@ func run(server, sweep, valuesStr, perPointStr string, conc, par, pipe int, metr
 	}
 	files, err := client.List()
 	if err != nil {
-		return fmt.Errorf("listing %s: %w", server, err)
+		return fmt.Errorf("listing %s: %w", client.Target(), err)
 	}
 	if len(files) == 0 {
 		return fmt.Errorf("server has no files")

@@ -53,14 +53,35 @@ func TestRunSweepTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), "concurrency", "1,2", "400KB", 1, 1, 2, "", "", 0, 0); err != nil {
+	if err := run(srv.Addr(), "", "concurrency", "1,2", "400KB", 1, 1, 2, "", "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(srv.Addr(), "bogus", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
+	if err := run(srv.Addr(), "", "bogus", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
 		t.Error("unknown sweep parameter accepted")
 	}
-	if err := run("127.0.0.1:1", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
+	if err := run("127.0.0.1:1", "", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
 		t.Error("dead server accepted")
+	}
+}
+
+func TestRunMultiEndpoint(t *testing.T) {
+	ds := dataset.NewGenerator(4).Uniform(6, 200*units.KB)
+	srvA, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	addrs := srvA.Addr() + "=2," + srvB.Addr()
+	if err := run("ignored:0", addrs, "concurrency", "2", "400KB", 1, 1, 2, "", "", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ignored:0", "not-an-endpoint-list=", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
+		t.Error("malformed -addrs accepted")
 	}
 }
 
@@ -74,7 +95,7 @@ func TestRunDumpsMetricsAndEvents(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "metrics.json")
 	events := filepath.Join(dir, "events.jsonl")
-	if err := run(srv.Addr(), "concurrency", "1", "300KB", 1, 1, 2, metrics, events, 2*time.Second, proto.DefaultBlockSize); err != nil {
+	if err := run(srv.Addr(), "", "concurrency", "1", "300KB", 1, 1, 2, metrics, events, 2*time.Second, proto.DefaultBlockSize); err != nil {
 		t.Fatal(err)
 	}
 

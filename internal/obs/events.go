@@ -13,21 +13,24 @@ import (
 // accepts any type string; these constants are the vocabulary the
 // proto/sched/monitor instrumentation uses and DESIGN.md §8 documents.
 const (
-	EvTransferStarted  = "transfer_started"
-	EvTransferFinished = "transfer_finished"
-	EvGetIssued        = "get_issued"
-	EvGetSettled       = "get_settled"
-	EvChannelDialed    = "channel_dialed"
-	EvChannelRedialed  = "channel_redialed"
-	EvRetryConsumed    = "retry_consumed"
-	EvChunkRealloc     = "chunk_reallocated"
-	EvEnergySample     = "energy_sample"
-	EvEnergyModel      = "energy_model_sample"
-	EvSessionOpened    = "session_opened"
-	EvSessionClosed    = "session_closed"
-	EvGetServed        = "get_served"
-	EvFaultInjected    = "fault_injected"
-	EvStallDetected    = "stall_detected"
+	EvTransferStarted     = "transfer_started"
+	EvTransferFinished    = "transfer_finished"
+	EvGetIssued           = "get_issued"
+	EvGetSettled          = "get_settled"
+	EvChannelDialed       = "channel_dialed"
+	EvChannelRedialed     = "channel_redialed"
+	EvChannelPlaced       = "channel_placed"
+	EvEndpointBlacklisted = "endpoint_blacklisted"
+	EvEndpointRecovered   = "endpoint_recovered"
+	EvRetryConsumed       = "retry_consumed"
+	EvChunkRealloc        = "chunk_reallocated"
+	EvEnergySample        = "energy_sample"
+	EvEnergyModel         = "energy_model_sample"
+	EvSessionOpened       = "session_opened"
+	EvSessionClosed       = "session_closed"
+	EvGetServed           = "get_served"
+	EvFaultInjected       = "fault_injected"
+	EvStallDetected       = "stall_detected"
 )
 
 // DefaultRingSize is how many recent events a Log retains for Tail.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,9 +33,20 @@ func (c *Counters) Bytes() units.Bytes { return units.Bytes(c.bytes.Load()) }
 // Files returns the number of completed files.
 func (c *Counters) Files() int64 { return c.files.Load() }
 
-// Client opens transfer channels to one server.
+// Client opens transfer channels to one server — or, when Endpoints is
+// set, to a pool of server replicas with channels placed weighted
+// round-robin across the healthy ones.
 type Client struct {
+	// Addr is the single server address; ignored when Endpoints is set.
 	Addr string
+	// Endpoints optionally names N server replicas with placement
+	// weights and per-endpoint health tracking. Each OpenChannel draws
+	// the next healthy endpoint from the pool and dials the whole
+	// channel (control plus data streams) against it; dial/handshake
+	// failures are booked against that endpoint so a dead replica is
+	// blacklisted out of rotation and probed back in later. Set before
+	// the first OpenChannel.
+	Endpoints *EndpointPool
 	// DialTimeout bounds each TCP dial; 10 s when zero.
 	DialTimeout time.Duration
 	// Counters receives live statistics; optional.
@@ -72,6 +84,44 @@ type Client struct {
 
 	instOnce sync.Once
 	inst     clientInstruments
+
+	epOnce sync.Once
+	epPool *EndpointPool
+}
+
+// pool returns the client's endpoint pool, lazily building a
+// single-endpoint pool around Addr when none was configured — so the
+// single-server and multi-endpoint paths share one code path. The
+// pool inherits the client's Metrics/Events on first use unless it
+// brought its own.
+func (c *Client) pool() *EndpointPool {
+	c.epOnce.Do(func() {
+		if c.Endpoints != nil {
+			c.epPool = c.Endpoints
+		} else {
+			c.epPool = &EndpointPool{now: time.Now, eps: []*epState{{ep: Endpoint{Addr: c.Addr, Weight: 1}}}}
+		}
+		if c.epPool.Metrics == nil {
+			c.epPool.Metrics = c.Metrics
+		}
+		if c.epPool.Events == nil {
+			c.epPool.Events = c.Events
+		}
+	})
+	return c.epPool
+}
+
+// Target describes the client's server set for reports: the single
+// address, or every pool address joined with '+'.
+func (c *Client) Target() string {
+	if c.Endpoints == nil {
+		return c.Addr
+	}
+	addrs := make([]string, c.Endpoints.Len())
+	for i := range addrs {
+		addrs[i] = c.Endpoints.Addr(i)
+	}
+	return strings.Join(addrs, "+")
 }
 
 // clientInstruments caches the client-side metrics so the per-block
@@ -85,6 +135,9 @@ type clientInstruments struct {
 	channelsDialed *obs.Counter
 	stallsDetected *obs.Counter
 	settleMS       *obs.Histogram
+
+	dialsByEndpoint *obs.Family
+	dialFailsByEP   *obs.Family
 }
 
 // instruments resolves the client's metric handles once; with no
@@ -93,14 +146,16 @@ func (c *Client) instruments() *clientInstruments {
 	c.instOnce.Do(func() {
 		r := c.Metrics
 		c.inst = clientInstruments{
-			bytesReceived:  r.Counter("bytes_received"),
-			filesCompleted: r.Counter("files_completed"),
-			getsIssued:     r.Counter("gets_issued"),
-			getsSettled:    r.Counter("gets_settled"),
-			getsFailed:     r.Counter("gets_failed"),
-			channelsDialed: r.Counter("channels_dialed"),
-			stallsDetected: r.Counter("stalls_detected"),
-			settleMS:       r.Histogram("get_settle_ms"),
+			bytesReceived:   r.Counter("bytes_received"),
+			filesCompleted:  r.Counter("files_completed"),
+			getsIssued:      r.Counter("gets_issued"),
+			getsSettled:     r.Counter("gets_settled"),
+			getsFailed:      r.Counter("gets_failed"),
+			channelsDialed:  r.Counter("channels_dialed"),
+			stallsDetected:  r.Counter("stalls_detected"),
+			settleMS:        r.Histogram("get_settle_ms"),
+			dialsByEndpoint: r.Family("channels_dialed_by_endpoint", "endpoint"),
+			dialFailsByEP:   r.Family("dial_failures_by_endpoint", "endpoint"),
 		}
 	})
 	return &c.inst
@@ -113,18 +168,36 @@ func (c *Client) blockSize() int {
 	return DefaultBlockSize
 }
 
-func (c *Client) dial() (net.Conn, error) {
+func (c *Client) dial(addr string) (net.Conn, error) {
 	timeout := c.DialTimeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return net.DialTimeout("tcp", c.Addr, timeout)
+	return net.DialTimeout("tcp", addr, timeout)
 }
 
-// List fetches the server's file manifest over a throwaway control
-// connection.
+// List fetches the file manifest over a throwaway control connection.
+// With an endpoint pool configured the replicas serve one dataset, so a
+// failing endpoint is booked against its health record and the next one
+// tried — every endpoint gets one attempt before List gives up.
 func (c *Client) List() ([]dataset.File, error) {
-	conn, err := c.dial()
+	pool := c.pool()
+	var lastErr error
+	for attempt := 0; attempt < pool.Len(); attempt++ {
+		idx, addr := pool.Pick()
+		files, err := c.listFrom(addr)
+		if err == nil {
+			pool.ReportSuccess(idx)
+			return files, nil
+		}
+		pool.ReportFailure(idx, err)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) listFrom(addr string) ([]dataset.File, error) {
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +264,8 @@ type Channel struct {
 	br     *bufio.Reader
 	sid    uint64
 	inst   *clientInstruments
+	ep     int    // endpoint pool index this channel is placed on
+	epAddr string // the endpoint's address
 
 	streams []net.Conn
 
@@ -298,19 +373,31 @@ func (p *pendingGet) addBytes(n int64) {
 }
 
 // OpenChannel dials a control connection and `parallelism` data
-// streams.
+// streams against the next healthy endpoint (weighted round-robin when
+// a pool is configured; the single Addr otherwise). Dial or handshake
+// failures are booked against that endpoint's health record.
 func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	if parallelism < 1 {
 		return nil, fmt.Errorf("proto: parallelism %d < 1", parallelism)
 	}
-	ctrl, err := c.dial()
+	pool := c.pool()
+	ep, addr := pool.Pick()
+	// openFail books an endpoint-open failure exactly once per path.
+	openFail := func(err error) error {
+		pool.ReportFailure(ep, err)
+		c.instruments().dialFailsByEP.With(endpointLabel(ep)).Inc()
+		return err
+	}
+	ctrl, err := c.dial(addr)
 	if err != nil {
-		return nil, err
+		return nil, openFail(err)
 	}
 	ch := &Channel{
 		client:  c,
 		ctrl:    ctrl,
 		inst:    c.instruments(),
+		ep:      ep,
+		epAddr:  addr,
 		pending: make(map[uint32]*pendingGet),
 	}
 	// Every connection reads through a progress counter so the stall
@@ -325,7 +412,7 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	}
 	if _, err := io.WriteString(ctrl, "HELLO\n"); err != nil {
 		ctrl.Close()
-		return nil, err
+		return nil, openFail(err)
 	}
 	armCtrl()
 	verb, fields, err := readLine(ch.br)
@@ -333,24 +420,24 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 		ctrl.Close()
 		// %w keeps the cause visible to errors.Is so the executor books
 		// the retry under the right budget (timeout vs transport).
-		return nil, fmt.Errorf("proto: handshake failed: %w", err)
+		return nil, openFail(fmt.Errorf("proto: handshake failed: %w", err))
 	}
 	if verb != respOK || len(fields) != 1 {
 		ctrl.Close()
-		return nil, fmt.Errorf("proto: handshake failed (verb %q fields %v)", verb, fields)
+		return nil, openFail(fmt.Errorf("proto: handshake failed (verb %q fields %v)", verb, fields))
 	}
 	sid, err := strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
 		ctrl.Close()
-		return nil, fmt.Errorf("proto: bad session id %q", fields[0])
+		return nil, openFail(fmt.Errorf("proto: bad session id %q", fields[0]))
 	}
 	ch.sid = sid
 
 	for i := 0; i < parallelism; i++ {
-		data, err := c.dial()
+		data, err := c.dial(addr)
 		if err != nil {
 			ch.Close()
-			return nil, err
+			return nil, openFail(err)
 		}
 		// The DATA handshake is one short write, but a black-holed
 		// server with a full TCP window would park it forever; bound it
@@ -362,7 +449,7 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 		if _, err := fmt.Fprintf(data, "%s %d %d\n", cmdData, sid, i); err != nil {
 			data.Close()
 			ch.Close()
-			return nil, err
+			return nil, openFail(err)
 		}
 		if c.StallTimeout > 0 {
 			_ = data.SetWriteDeadline(time.Time{})
@@ -371,15 +458,15 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	}
 	if _, err := fmt.Fprintf(ctrl, "%s %d\n", cmdOpen, parallelism); err != nil {
 		ch.Close()
-		return nil, err
+		return nil, openFail(err)
 	}
 	armCtrl()
 	if verb, fields, err := readLine(ch.br); err != nil || verb != respOK {
 		ch.Close()
 		if err != nil {
-			return nil, fmt.Errorf("proto: OPEN failed: %w", err)
+			return nil, openFail(fmt.Errorf("proto: OPEN failed: %w", err))
 		}
-		return nil, fmt.Errorf("proto: OPEN failed (verb %q fields %v)", verb, fields)
+		return nil, openFail(fmt.Errorf("proto: OPEN failed (verb %q fields %v)", verb, fields))
 	}
 	if c.StallTimeout > 0 {
 		// Steady state is watchdog territory: clear the handshake
@@ -400,13 +487,22 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 		ch.wg.Add(1)
 		go ch.watchdog(c.StallTimeout)
 	}
+	pool.ReportSuccess(ep)
 	ch.inst.channelsDialed.Inc()
-	c.Events.Emit(obs.EvChannelDialed, "sid", sid, "parallelism", parallelism)
+	ch.inst.dialsByEndpoint.With(endpointLabel(ep)).Inc()
+	c.Events.Emit(obs.EvChannelDialed, "sid", sid, "parallelism", parallelism, "endpoint", ep, "addr", addr)
 	return ch, nil
 }
 
 // Parallelism returns the channel's data stream count.
 func (ch *Channel) Parallelism() int { return len(ch.streams) }
+
+// Endpoint returns the pool index of the endpoint this channel was
+// placed on (0 for a single-address client).
+func (ch *Channel) Endpoint() int { return ch.ep }
+
+// EndpointAddr returns the address of the endpoint this channel dialed.
+func (ch *Channel) EndpointAddr() string { return ch.epAddr }
 
 func (ch *Channel) controlLoop() {
 	defer ch.wg.Done()

@@ -119,6 +119,11 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 		doneCh: make(chan struct{}),
 		inst:   newExecInstruments(e.Metrics),
 		events: e.Events,
+		// The client's Counters outlive any one session (they back the
+		// /metrics byte totals), so Report accounting subtracts this
+		// baseline instead of reading the shared counter raw — a second
+		// Run on the same Executor must not report the first run's bytes.
+		baseBytes: e.Client.Counters.Bytes(),
 	}
 	for i := range plan.Chunks {
 		cp := plan.Chunks[i]
@@ -141,8 +146,17 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 	s.signalDoneIfComplete()
 	var targets []int
 	if plan.Sequential {
+		// All channels go to the FIRST chunk with work left — chunk 0 may
+		// already be complete at the destination (resume), in which case
+		// handing it the whole allocation would park every worker on an
+		// empty queue until the realloc path noticed.
 		targets = make([]int, len(s.chunks))
-		targets[0] = plan.TotalChannels()
+		for i, rc := range s.chunks {
+			if rc.remaining() > 0 {
+				targets[i] = plan.TotalChannels()
+				break
+			}
+		}
 	} else {
 		targets = make([]int, len(s.chunks))
 		for i, cp := range plan.Chunks {
@@ -275,6 +289,13 @@ type realSession struct {
 
 	doneCh   chan struct{}
 	doneOnce sync.Once
+	// doneAt is stamped inside doneOnce just before doneCh closes, so a
+	// caller that keeps sampling before invoking Finish still reports the
+	// duration of the transfer, not of its own patience. Readers
+	// synchronize through <-doneCh.
+	doneAt time.Time
+	// baseBytes is Client.Counters.Bytes() at Start; see Start.
+	baseBytes units.Bytes
 
 	inst    execInstruments
 	events  *obs.Log
@@ -327,6 +348,10 @@ func (s *realSession) reconcile(targets []int) error {
 			if err != nil {
 				return fmt.Errorf("proto: opening channel: %w", err)
 			}
+			s.events.Emit(obs.EvChannelPlaced,
+				"chunk", rc.idx,
+				"endpoint", ch.Endpoint(),
+				"addr", ch.EndpointAddr())
 			s.workers[w] = struct{}{}
 			have = append(have, w)
 			s.wg.Add(1)
@@ -383,6 +408,12 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 	// a capped exponential backoff, so the worker rides out short
 	// listener outages.
 	redial := func(cause error) bool {
+		// A channel-fatal error (stall, transport, broken control stream)
+		// counts against the endpoint the channel was placed on, so a
+		// dying replica drops out of rotation and the replacement channel
+		// lands on a healthy one. Checksum failures never reach here —
+		// they re-fetch on the same channel without blaming the endpoint.
+		s.exec.Client.pool().ReportFailure(ch.Endpoint(), cause)
 		ch.Close()
 		ch = nil
 		if !requeueWindow(cause) {
@@ -398,6 +429,8 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 				s.events.Emit(obs.EvChannelRedialed,
 					"chunk", w.chunk.idx,
 					"failed_attempts", w.redials,
+					"endpoint", next.Endpoint(),
+					"addr", next.EndpointAddr(),
 					"cause", fmt.Sprint(cause))
 				return true
 			}
@@ -570,7 +603,10 @@ func (s *realSession) signalDoneIfComplete() {
 	done := s.completed >= s.total || s.firstErr != nil
 	s.mu.Unlock()
 	if done {
-		s.doneOnce.Do(func() { close(s.doneCh) })
+		s.doneOnce.Do(func() {
+			s.doneAt = time.Now()
+			close(s.doneCh)
+		})
 	}
 }
 
@@ -610,7 +646,7 @@ func (s *realSession) Advance(d time.Duration) (transfer.Sample, error) {
 		}
 	}
 	now := time.Since(s.start)
-	bytes := s.exec.Client.Counters.Bytes()
+	bytes := s.sessionBytes()
 	energy, eErr := s.energy.Total()
 	if eErr != nil {
 		return transfer.Sample{}, eErr
@@ -638,6 +674,12 @@ func (s *realSession) Advance(d time.Duration) (transfer.Sample, error) {
 		return transfer.Sample{}, err
 	}
 	return sample, nil
+}
+
+// sessionBytes is how many payload bytes THIS session has received: the
+// shared client counter minus the session's starting baseline.
+func (s *realSession) sessionBytes() units.Bytes {
+	return s.exec.Client.Counters.Bytes() - s.baseBytes
 }
 
 func (s *realSession) err() error {
@@ -738,8 +780,13 @@ func (s *realSession) Finish() (transfer.Report, error) {
 	if err := s.err(); err != nil {
 		return transfer.Report{}, err
 	}
-	duration := time.Since(s.start)
-	bytes := s.exec.Client.Counters.Bytes()
+	// doneAt is safe to read here: it was written before doneCh closed
+	// and we received from doneCh above.
+	duration := s.doneAt.Sub(s.start)
+	if duration <= 0 {
+		duration = time.Since(s.start)
+	}
+	bytes := s.sessionBytes()
 	energy, err := s.energy.Total()
 	if err != nil {
 		return transfer.Report{}, err
@@ -749,7 +796,7 @@ func (s *realSession) Finish() (transfer.Report, error) {
 	s.mu.Unlock()
 	r := transfer.Report{
 		Algorithm:       s.exec.Label,
-		Testbed:         s.exec.Client.Addr,
+		Testbed:         s.exec.Client.Target(),
 		Duration:        duration,
 		Bytes:           bytes,
 		Throughput:      units.RateOf(bytes, duration),
