@@ -20,6 +20,7 @@ package eta_test
 import (
 	"context"
 	"math"
+	"path/filepath"
 	"testing"
 
 	"github.com/didclab/eta/internal/core"
@@ -330,6 +331,54 @@ func BenchmarkLoopbackMultiEndpoint(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLoopbackJournal measures the durability tax: a journal-enabled
+// transfer to a real DirSink (fsync-on-close, receipt journal with the
+// default 25ms group commit) versus the discard-path benchmarks above.
+// Each iteration delivers 16 MB into a fresh destination and reports
+// appends_per_mb — journaled receipts per delivered megabyte — so a
+// change that starts journaling per-write instead of per-block shows up
+// even when tmpfs hides the fsync cost.
+func BenchmarkLoopbackJournal(b *testing.B) {
+	ds := dataset.NewGenerator(1).Uniform(16, 1*units.MB)
+	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	b.SetBytes(int64(ds.TotalSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dest := b.TempDir()
+		b.StartTimer()
+		jr, err := proto.OpenJournal(filepath.Join(dest, proto.JournalFileName), proto.JournalOptions{Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := proto.NewDirSink(dest)
+		sink.SyncOnClose = true
+		client := &proto.Client{Addr: srv.Addr(), Journal: jr}
+		ch, err := client.OpenChannel(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ch.Fetch(ds.Files, 4, sink); err != nil {
+			b.Fatal(err)
+		}
+		ch.Close()
+		if err := jr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if appends := reg.Counter("journal_appends").Value(); b.N > 0 {
+		perMB := float64(appends) / float64(b.N) / (float64(ds.TotalSize()) / float64(units.MB))
+		b.ReportMetric(perMB, "appends_per_mb")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -40,15 +41,18 @@ func main() {
 	eventsOut := flag.String("events", "", "append the JSONL event log to this file as the sweep runs")
 	stallTimeout := flag.Duration("stall-timeout", 0, "fail a channel whose pending requests see no bytes for this long (0 disables the watchdog)")
 	block := flag.Int("block", proto.DefaultBlockSize, "expected server block size in bytes (sizes stream read buffers)")
+	dest := flag.String("dest", "", "write received files into this directory (DirSink) instead of discarding payload")
+	journal := flag.Bool("journal", false, "with -dest: keep a crash-safe block-receipt journal in the destination and resume via verified recovery — each point fetches only what is still missing")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "journal group-commit fsync interval (0 = 25ms default, negative = fsync every append)")
 	flag.Parse()
 
-	if err := run(*server, *addrs, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout, *block); err != nil {
+	if err := run(*server, *addrs, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout, *block, *dest, *journal, *fsyncInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "xferbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration, block int) error {
+func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration, block int, dest string, journal bool, fsyncInterval time.Duration) error {
 	values, err := parseValues(valuesStr)
 	if err != nil {
 		return err
@@ -78,8 +82,10 @@ func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe in
 			if err != nil {
 				return fmt.Errorf("-events: %w", err)
 			}
-			defer f.Close()
-			events = obs.NewLog(f)
+			// The buffered log owns f: its deferred Close flushes the
+			// tail of the event stream before closing the file.
+			events = obs.NewBufferedLog(f, 0)
+			defer events.Close()
 		} else {
 			events = obs.NewLog(nil)
 		}
@@ -101,6 +107,32 @@ func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe in
 			}()
 		}
 	}
+	if journal && dest == "" {
+		return fmt.Errorf("-journal requires -dest")
+	}
+	var sink proto.Sink = discard{}
+	if dest != "" {
+		ds := proto.NewDirSink(dest)
+		// With a journal the marker/fsync discipline matters; without
+		// one the destination is best-effort anyway.
+		ds.SyncOnClose = journal
+		sink = ds
+	}
+	var jr *proto.Journal
+	if journal {
+		var err error
+		jr, err = proto.OpenJournal(filepath.Join(dest, proto.JournalFileName), proto.JournalOptions{
+			FsyncInterval: fsyncInterval,
+			Metrics:       client.Metrics,
+			Events:        client.Events,
+		})
+		if err != nil {
+			return err
+		}
+		defer jr.Close()
+		client.Journal = jr
+	}
+
 	files, err := client.List()
 	if err != nil {
 		return fmt.Errorf("listing %s: %w", client.Target(), err)
@@ -127,13 +159,67 @@ func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe in
 		if c < 1 || p < 1 || q < 1 {
 			return fmt.Errorf("parameters must be ≥1")
 		}
-		thr, dur, n, err := measure(client, files, perPoint, c, p, q)
+		ranges := chooseRanges(files, perPoint)
+		pointSink := sink
+		if jr != nil {
+			// Journal mode fetches the verified-recovery plan — whatever
+			// the destination is still missing — instead of a synthetic
+			// per-point payload, so an interrupted run picks up where the
+			// receipts end.
+			if err := jr.Sync(); err != nil {
+				return err
+			}
+			plan, err := proto.PlanResume(dest, files, proto.ResumeOptions{
+				JournalPath: jr.Path(),
+				Metrics:     client.Metrics,
+				Events:      client.Events,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resume: %v verified via journal, %v already present, %v to fetch in %d ranges\n",
+				plan.Verified, plan.Skipped, plan.Refetch, len(plan.Ranges))
+			if len(plan.Ranges) == 0 {
+				fmt.Printf("%12d %12s %10s %10d\n", v, "complete", "-", 0)
+				continue
+			}
+			ranges = plan.Ranges
+			pointSink = proto.NewCompletionSink(sink, ranges)
+		}
+		thr, dur, n, err := measure(client, ranges, c, p, q, pointSink)
 		if err != nil {
 			return fmt.Errorf("%s=%d: %w", sweep, v, err)
 		}
 		fmt.Printf("%12d %12s %10s %10d\n", v, thr, dur.Round(time.Millisecond), n)
 	}
+	if jr != nil {
+		// A destination proven complete no longer needs its journal.
+		if err := jr.Sync(); err != nil {
+			return err
+		}
+		plan, err := proto.PlanResume(dest, files, proto.ResumeOptions{JournalPath: jr.Path()})
+		if err == nil && len(plan.Ranges) == 0 {
+			jr.Close()
+			if err := os.Remove(jr.Path()); err == nil {
+				fmt.Println("destination complete: receipt journal removed")
+			}
+		}
+	}
 	return nil
+}
+
+// chooseRanges picks ≈perPoint bytes of whole-file fetches, wrapping
+// around the manifest when it is smaller than the point payload (the
+// same name refetches under an independent request).
+func chooseRanges(files []dataset.File, perPoint units.Bytes) []proto.FileRange {
+	var chosen []dataset.File
+	var total units.Bytes
+	for i := 0; total < perPoint; i++ {
+		f := files[i%len(files)]
+		chosen = append(chosen, f)
+		total += f.Size
+	}
+	return proto.WholeFiles(chosen)
 }
 
 func parseValues(s string) ([]int, error) {
@@ -151,25 +237,12 @@ func parseValues(s string) ([]int, error) {
 	return out, nil
 }
 
-// measure transfers ≈perPoint bytes at the given parameters, splitting
-// the file list round-robin across `conc` channels.
-func measure(client *proto.Client, files []dataset.File, perPoint units.Bytes, conc, par, pipe int) (units.Rate, time.Duration, int, error) {
-	var chosen []dataset.File
-	var total units.Bytes
-	for i := 0; total < perPoint; i++ {
-		f := files[i%len(files)]
-		if i >= len(files) {
-			// Wrapped: reuse content under a distinct request (same
-			// name is fine — requests are independent).
-			f = files[i%len(files)]
-		}
-		chosen = append(chosen, f)
-		total += f.Size
-	}
-
-	parts := make([][]dataset.File, conc)
-	for i, f := range chosen {
-		parts[i%conc] = append(parts[i%conc], f)
+// measure transfers the given ranges at the given parameters, splitting
+// them round-robin across `conc` channels into sink.
+func measure(client *proto.Client, ranges []proto.FileRange, conc, par, pipe int, sink proto.Sink) (units.Rate, time.Duration, int, error) {
+	parts := make([][]proto.FileRange, conc)
+	for i, r := range ranges {
+		parts[i%conc] = append(parts[i%conc], r)
 	}
 
 	start := time.Now()
@@ -183,7 +256,7 @@ func measure(client *proto.Client, files []dataset.File, perPoint units.Bytes, c
 			return proto.FetchResult{}, err
 		}
 		defer ch.Close()
-		return ch.Fetch(part, pipe, discard{})
+		return ch.FetchRanges(part, pipe, sink)
 	})
 	if err != nil {
 		return 0, 0, 0, err

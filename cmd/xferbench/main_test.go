@@ -37,7 +37,7 @@ func TestMeasureAgainstServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	thr, dur, n, err := measure(client, files, 1*units.MB, 2, 2, 2)
+	thr, dur, n, err := measure(client, chooseRanges(files, 1*units.MB), 2, 2, 2, discard{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,14 +53,17 @@ func TestRunSweepTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), "", "concurrency", "1,2", "400KB", 1, 1, 2, "", "", 0, 0); err != nil {
+	if err := run(srv.Addr(), "", "concurrency", "1,2", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(srv.Addr(), "", "bogus", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
+	if err := run(srv.Addr(), "", "bogus", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err == nil {
 		t.Error("unknown sweep parameter accepted")
 	}
-	if err := run("127.0.0.1:1", "", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
+	if err := run("127.0.0.1:1", "", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err == nil {
 		t.Error("dead server accepted")
+	}
+	if err := run(srv.Addr(), "", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", true, 0); err == nil {
+		t.Error("-journal without -dest accepted")
 	}
 }
 
@@ -77,11 +80,43 @@ func TestRunMultiEndpoint(t *testing.T) {
 	}
 	defer srvB.Close()
 	addrs := srvA.Addr() + "=2," + srvB.Addr()
-	if err := run("ignored:0", addrs, "concurrency", "2", "400KB", 1, 1, 2, "", "", 0, 0); err != nil {
+	if err := run("ignored:0", addrs, "concurrency", "2", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("ignored:0", "not-an-endpoint-list=", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0); err == nil {
+	if err := run("ignored:0", "not-an-endpoint-list=", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err == nil {
 		t.Error("malformed -addrs accepted")
+	}
+}
+
+func TestRunJournalModeDeliversAndRetires(t *testing.T) {
+	// Journal mode turns the sweep into a real delivery: a full run
+	// leaves a byte-complete destination and retires the journal; a
+	// rerun over the complete destination fetches nothing.
+	ds := dataset.NewGenerator(5).Uniform(5, 200*units.KB)
+	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{Store: proto.NewSynthStore(ds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dest := t.TempDir()
+	for i := 0; i < 2; i++ {
+		if err := run(srv.Addr(), "", "concurrency", "1", "2MB", 1, 1, 2, "", "", 0, 0, dest, true, -1); err != nil {
+			t.Fatalf("journal run %d: %v", i, err)
+		}
+	}
+	for _, f := range ds.Files {
+		got, err := os.ReadFile(filepath.Join(dest, filepath.FromSlash(f.Name)))
+		if err != nil {
+			t.Fatalf("%s not delivered: %v", f.Name, err)
+		}
+		want := make([]byte, f.Size)
+		proto.FillSynth(f.Name, 0, want)
+		if string(got) != string(want) {
+			t.Errorf("%s: delivered bytes differ from source", f.Name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dest, proto.JournalFileName)); !os.IsNotExist(err) {
+		t.Errorf("journal not retired after complete delivery (stat err: %v)", err)
 	}
 }
 
@@ -95,7 +130,7 @@ func TestRunDumpsMetricsAndEvents(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "metrics.json")
 	events := filepath.Join(dir, "events.jsonl")
-	if err := run(srv.Addr(), "", "concurrency", "1", "300KB", 1, 1, 2, metrics, events, 2*time.Second, proto.DefaultBlockSize); err != nil {
+	if err := run(srv.Addr(), "", "concurrency", "1", "300KB", 1, 1, 2, metrics, events, 2*time.Second, proto.DefaultBlockSize, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 

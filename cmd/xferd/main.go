@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/didclab/eta/internal/cliutil"
 	"github.com/didclab/eta/internal/dataset"
@@ -37,6 +38,7 @@ func main() {
 	stallTimeout := flag.Duration("stall-timeout", 0, "tear down sessions whose control/data writes stall this long (0 disables)")
 	writevBatch := flag.Int("writev-batch", 0, "max blocks gathered into one vectored write on unshaped streams (0 = default 8, 1 disables batching)")
 	crcCache := flag.Bool("crc-cache", true, "cache per-file block CRCs so repeat serves of unchanged files skip re-hashing")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on the first SIGINT/SIGTERM, stop accepting sessions and wait up to this long for in-flight transfers before closing")
 	flag.Parse()
 
 	cfg := proto.ServerConfig{
@@ -96,11 +98,25 @@ func main() {
 	}
 	log.Printf("xferd: listening on %s", srv.Addr())
 
-	sig := make(chan os.Signal, 1)
+	// Graceful drain: the first signal refuses new sessions and lets the
+	// in-flight ones finish under -drain-timeout; a second signal at ANY
+	// point — including while Drain/Close is still running — force-exits
+	// immediately instead of being swallowed by a blocked shutdown.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("xferd: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("xferd: close: %v", err)
+	first := <-sig
+	log.Printf("xferd: %v: draining (waiting up to %v for in-flight sessions; signal again to force exit)", first, *drainTimeout)
+	drained := make(chan error, 1)
+	//lint:allow nakedgo single signal-lifetime shutdown goroutine in main; it must keep running while main selects on a second signal, which a bounded pool cannot express
+	go func() { drained <- srv.Drain(*drainTimeout) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			log.Printf("xferd: close: %v", err)
+		}
+		log.Print("xferd: drained, shutting down")
+	case second := <-sig:
+		log.Printf("xferd: second signal (%v) during drain: forcing exit", second)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/didclab/eta/internal/proto"
+)
+
+// These tests drive the REAL daemon binary with REAL signals — the drain
+// path only exists between a kernel-delivered SIGTERM and os.Exit, so an
+// in-process fake would test nothing.
+
+func buildXferd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xferd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building xferd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type xferdProc struct {
+	cmd  *exec.Cmd
+	addr string
+	done chan error // cmd.Wait result, after stderr hits EOF
+}
+
+func startXferd(t *testing.T, bin string, args ...string) *xferdProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	p := &xferdProc{cmd: cmd, done: make(chan error, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("xferd never reported its listen address")
+	}
+	return p
+}
+
+func waitExit(t *testing.T, p *xferdProc, timeout time.Duration) int {
+	t.Helper()
+	select {
+	case err := <-p.done:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("xferd wait: %v", err)
+	case <-time.After(timeout):
+		t.Fatalf("xferd still running after %v", timeout)
+	}
+	return -1
+}
+
+type nullSink struct{}
+
+func (nullSink) WriteAt(_ string, p []byte, _ int64) (int, error) { return len(p), nil }
+func (nullSink) Close(string) error                               { return nil }
+
+func TestXferdDrainCompletesInflight(t *testing.T) {
+	bin := buildXferd(t)
+	p := startXferd(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-synth", "6MB", "-synth-min", "500KB", "-synth-max", "1MB",
+		"-stream-rate", "40mbps", // slow enough that SIGTERM lands mid-transfer
+		"-drain-timeout", "30s")
+
+	client := &proto.Client{Addr: p.addr}
+	files, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := client.OpenChannel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched := make(chan error, 1)
+	var moved int64
+	go func() {
+		res, err := ch.Fetch(files, 2, nullSink{})
+		moved = int64(res.Bytes)
+		ch.Close() // the finished client hangs up; the drain completes on that
+		fetched <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Signal handling is asynchronous: poll until new sessions bounce.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2, err := (&proto.Client{Addr: p.addr}).OpenChannel(1)
+		if err != nil {
+			break // refused — the server is draining
+		}
+		c2.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("server kept accepting sessions after SIGTERM")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := <-fetched; err != nil {
+		t.Errorf("in-flight transfer did not survive the drain: %v", err)
+	}
+	var want int64
+	for _, f := range files {
+		want += int64(f.Size)
+	}
+	if moved != want {
+		t.Errorf("in-flight transfer moved %d of %d bytes", moved, want)
+	}
+	if code := waitExit(t, p, 10*time.Second); code != 0 {
+		t.Errorf("graceful drain exited %d, want 0", code)
+	}
+}
+
+func TestXferdSecondSignalForcesExit(t *testing.T) {
+	bin := buildXferd(t)
+	p := startXferd(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-synth", "1MB", "-synth-min", "200KB", "-synth-max", "500KB",
+		"-drain-timeout", "60s")
+
+	// Hold a session open so the drain can never finish on its own.
+	client := &proto.Client{Addr: p.addr}
+	ch, err := client.OpenChannel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the drain start and block
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The second signal must NOT be swallowed by the blocked drain: the
+	// daemon force-exits with a nonzero code well before -drain-timeout.
+	if code := waitExit(t, p, 5*time.Second); code != 1 {
+		t.Errorf("second signal exited %d, want 1", code)
+	}
+}

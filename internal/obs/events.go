@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -31,6 +32,9 @@ const (
 	EvGetServed           = "get_served"
 	EvFaultInjected       = "fault_injected"
 	EvStallDetected       = "stall_detected"
+	EvServerDraining      = "server_draining"
+	EvServerDrained       = "server_drained"
+	EvRecoveryPlanned     = "recovery_planned"
 )
 
 // DefaultRingSize is how many recent events a Log retains for Tail.
@@ -44,14 +48,17 @@ const DefaultRingSize = 1024
 // when the log was built over a writer, are appended to it as they
 // happen. Emit is safe for concurrent use; a nil *Log drops everything.
 type Log struct {
-	mu       sync.Mutex
-	now      Clock
-	w        io.Writer
-	ring     [][]byte
-	next     int
-	full     bool
-	seq      uint64
-	writeErr error
+	mu  sync.Mutex
+	now Clock
+	w   io.Writer
+	// underlying is the sink beneath a buffering wrapper (NewBufferedLog);
+	// Close closes it after flushing. Nil for unbuffered logs.
+	underlying io.Writer
+	ring       [][]byte
+	next       int
+	full       bool
+	seq        uint64
+	writeErr   error
 }
 
 // NewLog returns a log retaining DefaultRingSize events, streaming each
@@ -62,6 +69,69 @@ func NewLog(w io.Writer) *Log {
 		w:    w,
 		ring: make([][]byte, DefaultRingSize),
 	}
+}
+
+// NewBufferedLog returns a log whose event lines are buffered before
+// reaching w (bufSize bytes; <= 0 means 64KiB), amortizing small-write
+// syscalls on hot paths. The buffer is NOT crash-safe: callers owning a
+// buffered log must Flush (or Close) it on shutdown or the tail of the
+// run's events is lost — exactly the failure the crash harness provokes.
+// Close also closes w when it is an io.Closer, so handing a file here
+// transfers ownership.
+func NewBufferedLog(w io.Writer, bufSize int) *Log {
+	if bufSize <= 0 {
+		bufSize = 64 * 1024
+	}
+	l := NewLog(bufio.NewWriterSize(w, bufSize))
+	l.underlying = w
+	return l
+}
+
+// flusher is the subset of bufio.Writer that Flush forwards to.
+type flusher interface{ Flush() error }
+
+// Flush pushes any event lines still buffered in the log's writer down
+// to the underlying sink. It is a no-op for unbuffered logs and safe on
+// a nil log.
+func (l *Log) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if f, ok := l.w.(flusher); ok {
+		if err := f.Flush(); err != nil && l.writeErr == nil {
+			l.writeErr = err
+		}
+	}
+	return l.writeErr
+}
+
+// Close flushes the log and closes the underlying writer when the log
+// owns one that is closeable (NewBufferedLog over a file, or NewLog
+// over an io.WriteCloser). Emit after Close writes into a closed sink;
+// don't.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.flushLocked()
+	target := l.underlying
+	if target == nil {
+		target = l.w
+	}
+	if c, ok := target.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // SetClock overrides the timestamp source (tests, deterministic runs).

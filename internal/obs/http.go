@@ -43,6 +43,7 @@ func Handler(reg *Registry, log *Log) http.Handler {
 type HTTPServer struct {
 	ln  net.Listener
 	srv *http.Server
+	log *Log
 }
 
 // Serve starts the observability endpoint on addr (e.g. ":9632") and
@@ -52,7 +53,7 @@ func Serve(addr string, reg *Registry, log *Log) (*HTTPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: Handler(reg, log)}}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: Handler(reg, log)}, log: log}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -60,5 +61,13 @@ func Serve(addr string, reg *Registry, log *Log) (*HTTPServer, error) {
 // Addr returns the listening address.
 func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the endpoint.
-func (s *HTTPServer) Close() error { return s.srv.Close() }
+// Close stops the endpoint and flushes the event log it was serving, so
+// a process shutting its observability surface down does not strand the
+// tail of a buffered event file.
+func (s *HTTPServer) Close() error {
+	err := s.srv.Close()
+	if ferr := s.log.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}

@@ -218,6 +218,60 @@ func TestEventLogWriterError(t *testing.T) {
 	}
 }
 
+// closeRecorder captures writes and records whether Close was called —
+// the stand-in for an events file owned by a buffered log.
+type closeRecorder struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (c *closeRecorder) Close() error { c.closed = true; return nil }
+
+func TestBufferedLogFlushesOnClose(t *testing.T) {
+	rec := &closeRecorder{}
+	l := NewBufferedLog(rec, 4096)
+	l.SetClock(fixedClock())
+	l.Emit("tick", "n", 1)
+	// One small event sits in the buffer, not in the writer: that is the
+	// point of buffering — and the bug when nothing ever flushes it.
+	if rec.Len() != 0 {
+		t.Fatalf("event bypassed the buffer: %q", rec.String())
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.String(), `"type":"tick"`) {
+		t.Errorf("flushed output missing event: %q", rec.String())
+	}
+	l.Emit("tock", "n", 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.String(), `"type":"tock"`) {
+		t.Errorf("Close did not flush the tail: %q", rec.String())
+	}
+	if !rec.closed {
+		t.Error("Close did not close the owned writer")
+	}
+}
+
+func TestHTTPServerCloseFlushesLog(t *testing.T) {
+	rec := &closeRecorder{}
+	log := NewBufferedLog(rec, 8192)
+	log.SetClock(fixedClock())
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Emit("tick")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.String(), `"type":"tick"`) {
+		t.Errorf("handler shutdown did not flush buffered events: %q", rec.String())
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	l := NewLog(io.Discard)

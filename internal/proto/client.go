@@ -76,6 +76,12 @@ type Client struct {
 	// path's worst-case quiet period (RTT plus scheduling jitter); an
 	// idle channel with nothing outstanding never trips.
 	StallTimeout time.Duration
+	// Journal, when set, receives one block receipt (file, offset,
+	// length, CRC-32C) for every payload block written to the sink — the
+	// write-ahead record PlanResume replays after a crash. The CRC is
+	// computed on the receive path whether or not VerifyChecksums is on
+	// (the two share the single per-block Checksum call).
+	Journal *Journal
 	// Metrics receives live client counters (bytes_received,
 	// gets_issued, ...); optional. Set before the first OpenChannel.
 	Metrics *obs.Registry
@@ -331,11 +337,11 @@ func (p *pendingGet) transportErr() error {
 	return p.failErr
 }
 
-// recordBlock remembers a received block's CRC for later combination.
-func (p *pendingGet) recordBlock(off int64, payload []byte) {
-	c := crc32.Checksum(payload, crcTable)
+// recordBlock remembers a received block's precomputed CRC for later
+// combination.
+func (p *pendingGet) recordBlock(off, n int64, c uint32) {
 	p.blockMu.Lock()
-	p.blocks = append(p.blocks, blockCRC{off: off, n: int64(len(payload)), crc: c})
+	p.blocks = append(p.blocks, blockCRC{off: off, n: n, crc: c})
 	p.blockMu.Unlock()
 }
 
@@ -582,8 +588,14 @@ func (ch *Channel) streamLoop(conn net.Conn) {
 			p.abort(err)
 			continue
 		}
-		if ch.client.VerifyChecksums {
-			p.recordBlock(int64(h.Offset), payload)
+		if ch.client.VerifyChecksums || ch.client.Journal != nil {
+			// One Checksum call serves both consumers; only the uint32
+			// crosses into the journal, never the pooled payload buffer.
+			c := crc32.Checksum(payload, crcTable)
+			if ch.client.VerifyChecksums {
+				p.recordBlock(int64(h.Offset), int64(h.Length), c)
+			}
+			ch.client.Journal.Append(p.name, int64(h.Offset), int64(h.Length), c)
 		}
 		if ch.client.Counters != nil {
 			ch.client.Counters.AddBytes(int64(h.Length))
@@ -642,10 +654,13 @@ func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
 	ch.pending[id] = p
 	ch.mu.Unlock()
 
-	// Reserve the file's final size before any payload arrives, so the
+	// Reserve the file's FINAL size before any payload arrives, so the
 	// striped out-of-order WriteAts land inside an already-sized file.
+	// The full size, not the range end: recovery issues mid-file gap
+	// ranges, and sizing to a range end would truncate verified bytes
+	// past it.
 	if pa, ok := sink.(Preallocator); ok && p.length > 0 {
-		if err := pa.Preallocate(p.name, p.offset+p.length); err != nil {
+		if err := pa.Preallocate(p.name, int64(r.File.Size)); err != nil {
 			ch.release(p)
 			return nil, err
 		}

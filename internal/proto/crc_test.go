@@ -98,7 +98,7 @@ func TestChecksumCatchesCorruption(t *testing.T) {
 	p := &pendingGet{length: 100}
 	data := make([]byte, 100)
 	FillSynth("x", 0, data)
-	p.recordBlock(0, data)
+	p.recordBlock(0, int64(len(data)), crc32.Checksum(data, crcTable))
 	p.crc = crc32.Checksum(data, crcTable)
 	if err := p.verifyChecksum(); err != nil {
 		t.Fatalf("clean verification failed: %v", err)
@@ -154,8 +154,8 @@ func TestVerifyChecksumResumeOffsetNormalization(t *testing.T) {
 	total := make([]byte, 1500)
 	FillSynth("resumed.dat", 0, total)
 	p := &pendingGet{name: "resumed.dat", offset: 1000, length: 500}
-	p.recordBlock(1000, total[1000:1200])
-	p.recordBlock(1200, total[1200:1500])
+	p.recordBlock(1000, 200, crc32.Checksum(total[1000:1200], crcTable))
+	p.recordBlock(1200, 300, crc32.Checksum(total[1200:1500], crcTable))
 	p.crc = crc32.Checksum(total[1000:1500], crcTable)
 	if err := p.verifyChecksum(); err != nil {
 		t.Fatalf("resumed-range verification failed: %v", err)
@@ -165,8 +165,8 @@ func TestVerifyChecksumResumeOffsetNormalization(t *testing.T) {
 	// start of the range; prove a genuinely-absolute recording fails and
 	// carries the typed sentinel.
 	q := &pendingGet{name: "resumed.dat", offset: 0, length: 500}
-	q.recordBlock(1000, total[1000:1200])
-	q.recordBlock(1200, total[1200:1500])
+	q.recordBlock(1000, 200, crc32.Checksum(total[1000:1200], crcTable))
+	q.recordBlock(1200, 300, crc32.Checksum(total[1200:1500], crcTable))
 	q.crc = p.crc
 	err := q.verifyChecksum()
 	if err == nil {
@@ -184,7 +184,7 @@ func TestVerifyChecksumTypedError(t *testing.T) {
 	data := make([]byte, 256)
 	FillSynth("t.dat", 0, data)
 	p := &pendingGet{name: "t.dat", length: 256}
-	p.recordBlock(0, data)
+	p.recordBlock(0, int64(len(data)), crc32.Checksum(data, crcTable))
 	p.crc = crc32.Checksum(data, crcTable)
 	if err := p.verifyChecksum(); err != nil {
 		t.Fatalf("clean verification failed: %v", err)

@@ -1,0 +1,102 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/didclab/eta/internal/dataset"
+	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/units"
+)
+
+func waitDraining(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !srv.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining state")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDrainCompletesInflightAndRejectsNew(t *testing.T) {
+	ds := dataset.NewGenerator(71).Uniform(6, 300*units.KB)
+	reg := obs.NewRegistry()
+	log := obs.NewLog(nil)
+	srv := synthServer(t, ds, func(c *ServerConfig) {
+		c.PerStreamRate = 40 * units.Mbps // slow enough to still be in flight when Drain lands
+		c.Metrics = reg
+		c.Events = log
+	})
+
+	client := &Client{Addr: srv.Addr(), VerifyChecksums: true}
+	ch, err := client.OpenChannel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched := make(chan error, 1)
+	go func() {
+		// A finished client hangs up; that is what lets the drain
+		// complete gracefully instead of timing out.
+		_, err := ch.Fetch(ds.Files, 2, NewVerifySink())
+		ch.Close()
+		fetched <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the transfer get going
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(10 * time.Second) }()
+	waitDraining(t, srv)
+
+	// New sessions must be refused while the in-flight one lives on.
+	if _, err := (&Client{Addr: srv.Addr()}).OpenChannel(1); err == nil {
+		t.Error("new session accepted during drain")
+	}
+	if err := <-fetched; err != nil {
+		t.Errorf("in-flight transfer did not survive the drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("drain: %v", err)
+	}
+
+	if got := reg.Snapshot().Counters["server_sessions_rejected"]; got < 1 {
+		t.Errorf("server_sessions_rejected = %d, want ≥1", got)
+	}
+	tail := bytes.Join(log.Tail(64), []byte("\n"))
+	for _, want := range []string{obs.EvServerDraining, obs.EvServerDrained} {
+		if !bytes.Contains(tail, []byte(`"type":"`+want+`"`)) {
+			t.Errorf("event log missing %s:\n%s", want, tail)
+		}
+	}
+	if !bytes.Contains(tail, []byte(`"forced":false`)) {
+		t.Errorf("graceful drain should not report forced sessions:\n%s", tail)
+	}
+}
+
+func TestDrainTimeoutForcesRemainingSessions(t *testing.T) {
+	ds := dataset.NewGenerator(72).Uniform(2, 50*units.KB)
+	log := obs.NewLog(nil)
+	srv := synthServer(t, ds, func(c *ServerConfig) { c.Events = log })
+
+	// A session that never finishes: open and hold.
+	client := &Client{Addr: srv.Addr()}
+	ch, err := client.OpenChannel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	if err := srv.Drain(30 * time.Millisecond); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	tail := bytes.Join(log.Tail(64), []byte("\n"))
+	if !bytes.Contains(tail, []byte(`"forced":true`)) {
+		t.Errorf("timed-out drain should report forced sessions:\n%s", tail)
+	}
+	// Drain after close is idempotent shutdown, not an error.
+	if err := srv.Drain(time.Millisecond); err != nil {
+		t.Errorf("drain after close: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package proto
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/didclab/eta/internal/obs"
+)
+
+func TestEndpointPoolConcurrentAccess(t *testing.T) {
+	// Hammer every pool entry point from many goroutines at once. The
+	// test asserts no torn state escapes (indices in range, health
+	// snapshots sized right); the -race runs in CI do the heavy lifting.
+	eps, err := ParseEndpoints("a:1=2,b:2,c:3=5,d:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewEndpointPool(eps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Metrics = obs.NewRegistry()
+	pool.Events = obs.NewLog(nil)
+
+	const (
+		goroutines = 16
+		iters      = 500
+	)
+	failure := errors.New("synthetic endpoint failure")
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx, addr := pool.Pick()
+				if idx < 0 || idx >= pool.Len() || addr == "" {
+					t.Errorf("Pick returned out-of-range endpoint %d (%q)", idx, addr)
+					return
+				}
+				// Mix outcomes so endpoints cross the failure threshold,
+				// enter probation, and recover — all concurrently.
+				if (g+i)%3 == 0 {
+					pool.ReportFailure(idx, failure)
+				} else {
+					pool.ReportSuccess(idx)
+				}
+				if h := pool.Health(); len(h) != pool.Len() {
+					t.Errorf("Health returned %d entries for %d endpoints", len(h), pool.Len())
+					return
+				}
+				if n := pool.HealthyCount(); n < 0 || n > pool.Len() {
+					t.Errorf("HealthyCount = %d with %d endpoints", n, pool.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After the dust settles the pool must still hand out endpoints.
+	if idx, addr := pool.Pick(); idx < 0 || addr == "" {
+		t.Errorf("pool unusable after concurrent churn: Pick = %d, %q", idx, addr)
+	}
+}

@@ -42,6 +42,13 @@ type Executor struct {
 	// ResumeOffsets maps file names to byte offsets already present at
 	// the destination (from ResumeRanges); those bytes are skipped.
 	ResumeOffsets map[string]units.Bytes
+	// Resume, when set, takes precedence over ResumeOffsets: the session
+	// fetches exactly the plan's per-file ranges (journal-verified
+	// recovery from PlanResume), skipping files the plan holds no entry
+	// for. A file split across several gap ranges is finalized —
+	// Sink.Close, marker lift, files counter — only when its LAST range
+	// settles.
+	Resume *RecoveryPlan
 	// MaxRetries is how many times a file transfer is re-attempted
 	// after a transport failure (the channel is re-dialed each time),
 	// and how many times a failed re-dial itself is re-attempted.
@@ -111,14 +118,15 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 		e.Client.Events = e.Events
 	}
 	s := &realSession{
-		exec:   e,
-		ctx:    ctx,
-		plan:   plan,
-		energy: energy,
-		start:  time.Now(),
-		doneCh: make(chan struct{}),
-		inst:   newExecInstruments(e.Metrics),
-		events: e.Events,
+		exec:     e,
+		ctx:      ctx,
+		plan:     plan,
+		energy:   energy,
+		start:    time.Now(),
+		doneCh:   make(chan struct{}),
+		inst:     newExecInstruments(e.Metrics),
+		events:   e.Events,
+		fileRefs: make(map[string]int),
 		// The client's Counters outlive any one session (they back the
 		// /metrics byte totals), so Report accounting subtracts this
 		// baseline instead of reading the shared counter raw — a second
@@ -129,12 +137,32 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 		cp := plan.Chunks[i]
 		rc := &realChunk{plan: cp, idx: i}
 		for _, f := range cp.Chunk.Files {
-			r := FileRange{File: f, Offset: e.ResumeOffsets[f.Name]}
-			if r.Remaining() == 0 {
-				continue // already complete at the destination
+			var frs []FileRange
+			if e.Resume != nil {
+				rs, ok := e.Resume.ByFile[f.Name]
+				if !ok {
+					continue // already complete at the destination
+				}
+				frs = rs
+			} else {
+				r := FileRange{File: f, Offset: e.ResumeOffsets[f.Name]}
+				if r.Remaining() == 0 {
+					continue // already complete at the destination
+				}
+				frs = []FileRange{r}
 			}
-			rc.queue = append(rc.queue, queuedRange{r: r})
-			s.total += r.Remaining()
+			n := 0
+			for _, r := range frs {
+				if r.Remaining() == 0 {
+					continue
+				}
+				rc.queue = append(rc.queue, queuedRange{r: r})
+				s.total += r.Remaining()
+				n++
+			}
+			if n > 0 {
+				s.fileRefs[f.Name] += n
+			}
 		}
 		s.chunks = append(s.chunks, rc)
 	}
@@ -286,6 +314,9 @@ type realSession struct {
 	completed units.Bytes
 	firstErr  error
 	finished  bool
+	// fileRefs counts each file's outstanding planned ranges; the range
+	// that decrements it to zero finalizes the file (Sink.Close).
+	fileRefs map[string]int
 
 	doneCh   chan struct{}
 	doneOnce sync.Once
@@ -479,13 +510,18 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 			window = append([]inflight{f}, window...)
 			return redial(err)
 		}
-		if err := s.exec.Sink.Close(f.p.name); err != nil {
-			s.fail(err)
-			return false
+		// Finalize the file only when its LAST planned range settled:
+		// closing earlier would lift the partial marker (and bump the
+		// files counters) while sibling gap ranges are still in flight.
+		if s.fileSettled(f.p.name) {
+			if err := s.exec.Sink.Close(f.p.name); err != nil {
+				s.fail(err)
+				return false
+			}
+			s.files.Add(1)
+			s.exec.Client.Counters.files.Add(1)
+			s.exec.Client.instruments().filesCompleted.Inc()
 		}
-		s.files.Add(1)
-		s.exec.Client.Counters.files.Add(1)
-		s.exec.Client.instruments().filesCompleted.Inc()
 		s.addCompleted(units.Bytes(f.p.length))
 		return true
 	}
@@ -580,6 +616,23 @@ func (s *realSession) nextChunkFor(w *realWorker) *realChunk {
 		}
 	}
 	return best
+}
+
+// fileSettled books one successfully settled range of name and reports
+// whether it was the file's last outstanding one.
+func (s *realSession) fileSettled(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.fileRefs[name]
+	if !ok {
+		return true
+	}
+	if n--; n <= 0 {
+		delete(s.fileRefs, name)
+		return true
+	}
+	s.fileRefs[name] = n
+	return false
 }
 
 func (s *realSession) fail(err error) {

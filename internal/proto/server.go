@@ -112,6 +112,7 @@ type Server struct {
 	sessions map[uint64]*serverSession
 	nextSID  uint64
 	closed   bool
+	draining bool
 	wg       sync.WaitGroup
 }
 
@@ -143,15 +144,16 @@ func (s *Server) Stats() Stats {
 // serverInstruments caches the server-side metric handles (nil and
 // no-op without a registry).
 type serverInstruments struct {
-	sessionsTotal  *obs.Counter
-	requestsServed *obs.Counter
-	requestsFailed *obs.Counter
-	bytesServed    *obs.Counter
-	serveMS        *obs.Histogram
-	writevBatches  *obs.Counter
-	writevBlocks   *obs.Counter
-	crcCacheHits   *obs.Counter
-	crcCacheMisses *obs.Counter
+	sessionsTotal    *obs.Counter
+	sessionsRejected *obs.Counter
+	requestsServed   *obs.Counter
+	requestsFailed   *obs.Counter
+	bytesServed      *obs.Counter
+	serveMS          *obs.Histogram
+	writevBatches    *obs.Counter
+	writevBlocks     *obs.Counter
+	crcCacheHits     *obs.Counter
+	crcCacheMisses   *obs.Counter
 }
 
 // Serve starts a server on ln. Close the server to stop it.
@@ -165,15 +167,16 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		link:     NewLimiter(cfg.LinkRate),
 		sessions: make(map[uint64]*serverSession),
 		inst: serverInstruments{
-			sessionsTotal:  cfg.Metrics.Counter("server_sessions_total"),
-			requestsServed: cfg.Metrics.Counter("server_requests_served"),
-			requestsFailed: cfg.Metrics.Counter("server_requests_failed"),
-			bytesServed:    cfg.Metrics.Counter("server_bytes_served"),
-			serveMS:        cfg.Metrics.Histogram("server_get_serve_ms"),
-			writevBatches:  cfg.Metrics.Counter("server_writev_batches"),
-			writevBlocks:   cfg.Metrics.Counter("server_writev_blocks"),
-			crcCacheHits:   cfg.Metrics.Counter("server_crc_cache_hits"),
-			crcCacheMisses: cfg.Metrics.Counter("server_crc_cache_misses"),
+			sessionsTotal:    cfg.Metrics.Counter("server_sessions_total"),
+			sessionsRejected: cfg.Metrics.Counter("server_sessions_rejected"),
+			requestsServed:   cfg.Metrics.Counter("server_requests_served"),
+			requestsFailed:   cfg.Metrics.Counter("server_requests_failed"),
+			bytesServed:      cfg.Metrics.Counter("server_bytes_served"),
+			serveMS:          cfg.Metrics.Histogram("server_get_serve_ms"),
+			writevBatches:    cfg.Metrics.Counter("server_writev_batches"),
+			writevBlocks:     cfg.Metrics.Counter("server_writev_blocks"),
+			crcCacheHits:     cfg.Metrics.Counter("server_crc_cache_hits"),
+			crcCacheMisses:   cfg.Metrics.Counter("server_crc_cache_misses"),
 		},
 		blockOp: makeCRC32Op(int64(cfg.blockSize())),
 	}
@@ -216,6 +219,50 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Draining reports whether the server has stopped accepting new
+// sessions (Drain was called and has not finished closing).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain is the graceful half of shutdown: it immediately stops
+// accepting new control sessions (each is refused with an ERR line —
+// data-stream attaches for live sessions still work), waits up to
+// timeout for the in-flight sessions to finish on their own, then
+// closes the server, severing whatever is left. It emits
+// server_draining on entry and server_drained (with the count of
+// force-closed sessions) before the final Close.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return s.Close()
+	}
+	s.draining = true
+	active := len(s.sessions)
+	s.mu.Unlock()
+	s.cfg.Events.Emit(obs.EvServerDraining,
+		"active_sessions", active,
+		"timeout_ms", timeout.Milliseconds())
+	deadline := time.Now().Add(timeout)
+	remaining := 0
+	for {
+		s.mu.Lock()
+		remaining = len(s.sessions)
+		s.mu.Unlock()
+		if remaining == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.cfg.Events.Emit(obs.EvServerDrained,
+		"remaining_sessions", remaining,
+		"forced", remaining > 0)
+	return s.Close()
 }
 
 func (s *Server) acceptLoop() {
@@ -309,8 +356,15 @@ type serverSession struct {
 
 func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
+		s.inst.sessionsRejected.Inc()
+		// A definite refusal (not just a hangup) so the client books the
+		// endpoint failure immediately; bounded like every control write.
+		if t := s.cfg.StallTimeout; t > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(t))
+		}
+		fmt.Fprintf(conn, "%s server draining\n", respErr)
 		conn.Close()
 		return
 	}

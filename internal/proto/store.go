@@ -217,6 +217,11 @@ type Preallocator interface {
 // DirSink writes received files into a directory tree.
 type DirSink struct {
 	Root string
+	// SyncOnClose fsyncs each file before Close removes its partial
+	// marker — the store half of the durability discipline: the marker
+	// must not disappear while the data that justifies removing it can
+	// still be lost. Journal-enabled transfers set it.
+	SyncOnClose bool
 
 	mu   sync.Mutex
 	open map[string]*os.File
@@ -258,13 +263,17 @@ func (s *DirSink) WriteAt(name string, p []byte, off int64) (int, error) {
 	return f.WriteAt(p, off)
 }
 
-// partialMarkerSuffix marks a destination file whose length no longer
+// PartialMarkerSuffix marks a destination file whose length no longer
 // reflects its progress: preallocation sizes the file before its bytes
 // arrive, so an interrupted transfer leaves a full-length file with
 // holes. The marker is created before the truncate and removed on
-// Close; ResumeRanges treats a marked file as absent (refetch whole)
-// instead of trusting its length.
-const partialMarkerSuffix = ".eta-partial"
+// Close; recovery treats a marked file as incomplete — journal-verified
+// resume when receipts exist, whole refetch otherwise — instead of
+// trusting its length.
+const PartialMarkerSuffix = ".eta-partial"
+
+// partialMarkerSuffix is the internal alias predating the export.
+const partialMarkerSuffix = PartialMarkerSuffix
 
 // Preallocate implements Preallocator: it sizes the destination file
 // with one Truncate before the first WriteAt, dropping a partial marker
@@ -305,13 +314,72 @@ func (s *DirSink) Close(name string) error {
 		delete(s.open, name)
 		s.mu.Unlock()
 	}
-	// The content is complete: lift the partial marker (if preallocation
-	// ever dropped one) before releasing the handle.
+	// The content is complete: make it durable first when asked, then
+	// lift the partial marker (if preallocation ever dropped one) before
+	// releasing the handle. Removing the marker before the data is
+	// stable would let a crash leave an unmarked file full of holes.
+	if s.SyncOnClose {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
 	if err := os.Remove(f.Name() + partialMarkerSuffix); err != nil && !os.IsNotExist(err) {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// completionSink wraps a Sink fetched through multiple ranges of the
+// same file so the inner Close — which finalizes the file and lifts its
+// partial marker — happens only once, after the LAST planned range
+// closes. Closing per range would lift the marker while sibling ranges
+// are still in flight, opening a corruption window on a crash.
+type completionSink struct {
+	inner Sink
+	mu    sync.Mutex
+	left  map[string]int
+}
+
+// NewCompletionSink wraps inner for a multi-range fetch: Close(name)
+// reaches inner only on the call closing name's last planned range.
+// Names outside ranges pass through directly.
+func NewCompletionSink(inner Sink, ranges []FileRange) Sink {
+	left := make(map[string]int)
+	for _, r := range ranges {
+		left[r.File.Name]++
+	}
+	return &completionSink{inner: inner, left: left}
+}
+
+// WriteAt implements Sink.
+func (s *completionSink) WriteAt(name string, p []byte, off int64) (int, error) {
+	return s.inner.WriteAt(name, p, off)
+}
+
+// Close implements Sink.
+func (s *completionSink) Close(name string) error {
+	s.mu.Lock()
+	n, tracked := s.left[name]
+	if tracked {
+		n--
+		s.left[name] = n
+	}
+	s.mu.Unlock()
+	if tracked && n > 0 {
+		return nil
+	}
+	return s.inner.Close(name)
+}
+
+// Preallocate implements Preallocator by forwarding when the inner sink
+// supports it.
+func (s *completionSink) Preallocate(name string, size int64) error {
+	if pa, ok := s.inner.(Preallocator); ok {
+		return pa.Preallocate(name, size)
+	}
+	return nil
 }
 
 // VerifySink discards payload but verifies every byte against the
