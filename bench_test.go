@@ -27,6 +27,7 @@ import (
 	"github.com/didclab/eta/internal/dataset"
 	"github.com/didclab/eta/internal/experiments"
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/power"
 	"github.com/didclab/eta/internal/proto"
 	"github.com/didclab/eta/internal/sched"
@@ -235,6 +236,46 @@ func BenchmarkProtoLoopbackSteady(b *testing.B) {
 		if _, err := ch.Fetch(ds.Files, 4, discardSink{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLoopbackTraced is BenchmarkProtoLoopbackSteady with span
+// tracing on for both ends (events discarded, metrics live): the
+// steady-state cost of the tracer on the hot path. Compare its MB/s
+// against the untraced steady benchmark to see the instrumentation
+// overhead; the bench gate holds it to the same tolerance as the rest
+// of the data plane.
+func BenchmarkLoopbackTraced(b *testing.B) {
+	ds := dataset.NewGenerator(1).Uniform(16, 4*units.MB)
+	reg := obs.NewRegistry()
+	events := obs.NewLog(nil)
+	tracer := span.NewTracer(reg, events)
+	srv, err := proto.ListenAndServe("127.0.0.1:0", proto.ServerConfig{
+		Store:  proto.NewSynthStore(ds),
+		Events: events,
+		Trace:  tracer,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := &proto.Client{Addr: srv.Addr(), Trace: tracer}
+	ch, err := client.OpenChannel(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ch.Close()
+	b.SetBytes(int64(ds.TotalSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Fetch(ds.Files, 4, discardSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n := int64(b.N); n > 0 {
+		b.ReportMetric(float64(reg.Counter("spans_started").Value())/float64(n), "spans_per_op")
 	}
 }
 

@@ -26,6 +26,8 @@ import (
 	"github.com/didclab/eta/internal/dataset"
 	"github.com/didclab/eta/internal/monitor"
 	"github.com/didclab/eta/internal/netem"
+	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/power"
 	"github.com/didclab/eta/internal/proto"
 	"github.com/didclab/eta/internal/trace"
@@ -49,6 +51,7 @@ func main() {
 	rtt := flag.Duration("rtt", 10*time.Millisecond, "assumed path RTT (BDP input)")
 	buf := flag.String("buffer", "32MB", "assumed max TCP buffer (parallelism input)")
 	samplesOut := flag.String("samples", "", "write the 5s sample timeline to this CSV file")
+	traceOut := flag.String("trace", "", "record the JSONL event stream with spans and energy samples to this file (replay with xfertrace)")
 	flag.Parse()
 
 	opts := options{
@@ -56,6 +59,7 @@ func main() {
 		sla: *sla, maxMbps: *maxMbps, out: *out, verify: *verify,
 		resume: *resume, checksum: *checksum, retries: *retries,
 		bw: *bw, rtt: *rtt, buf: *buf, samplesOut: *samplesOut,
+		traceOut: *traceOut,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "energytransfer:", err)
@@ -73,6 +77,7 @@ type options struct {
 	checksum            bool
 	retries             int
 	bw, buf, samplesOut string
+	traceOut            string
 	rtt                 time.Duration
 }
 
@@ -149,6 +154,24 @@ func run(o options) error {
 			skipped, complete, partial)
 	}
 
+	// -trace records the full JSONL event stream — spans, transfer
+	// events and the energy-model sample curve — for cmd/xfertrace.
+	var events *obs.Log
+	var tracer *span.Tracer
+	var metrics *obs.Registry
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		// The buffered log owns f: its deferred Close flushes the tail
+		// of the stream before closing the file.
+		events = obs.NewBufferedLog(f, 0)
+		defer events.Close()
+		metrics = obs.NewRegistry()
+		tracer = span.NewTracer(metrics, events)
+	}
+
 	localModel := power.FineGrained{Coeff: power.Coefficients{
 		CPU: power.PaperCPUQuad, Mem: 0.11, Disk: 0.08, NIC: 0.2,
 	}}
@@ -161,6 +184,13 @@ func run(o options) error {
 		log.Print("energy: hardware RAPL counters")
 	} else {
 		log.Print("energy: fine-grained model over procfs utilization")
+		if ms, ok := energy.(*monitor.ModelSource); ok && tracer != nil {
+			// The model source feeds the tracer at its own sampling
+			// cadence, so span joules estimates stay current and the
+			// recorded curve is what xfertrace attributes from.
+			ms.Events = events
+			ms.Trace = tracer
+		}
 	}
 
 	exec := &proto.Executor{
@@ -179,6 +209,9 @@ func run(o options) error {
 		},
 		ResumeOffsets: resumeOffsets,
 		MaxRetries:    o.retries,
+		Metrics:       metrics,
+		Events:        events,
+		Trace:         tracer,
 		Label:         strings.ToUpper(o.algo),
 	}
 
@@ -234,6 +267,10 @@ func run(o options) error {
 	fmt.Printf("%s: %v in %v → %v, energy %v (avg %v)\n",
 		report.Algorithm, report.Bytes, time.Since(start).Round(time.Millisecond),
 		report.Throughput, report.EndSystemEnergy, report.AvgPower)
+	if report.EnergyJoules > 0 && o.traceOut != "" {
+		fmt.Printf("span attribution: %.1f J on the transfer root (replay with: xfertrace %s)\n",
+			report.EnergyJoules, o.traceOut)
+	}
 	if v, ok := sink.(*proto.VerifySink); ok {
 		if bad := v.Corrupt(); len(bad) > 0 {
 			return fmt.Errorf("integrity check failed for %d ranges: %v", len(bad), bad[:minI(3, len(bad))])

@@ -23,6 +23,7 @@ import (
 	"github.com/didclab/eta/internal/cliutil"
 	"github.com/didclab/eta/internal/dataset"
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/proto"
 	"github.com/didclab/eta/internal/sched"
 	"github.com/didclab/eta/internal/units"
@@ -44,15 +45,17 @@ func main() {
 	dest := flag.String("dest", "", "write received files into this directory (DirSink) instead of discarding payload")
 	journal := flag.Bool("journal", false, "with -dest: keep a crash-safe block-receipt journal in the destination and resume via verified recovery — each point fetches only what is still missing")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "journal group-commit fsync interval (0 = 25ms default, negative = fsync every append)")
+	traceOut := flag.String("trace", "", "record the JSONL event stream with client-side spans to this file (replay with xfertrace); extends -events with span_begin/span_end")
+	pprofAddr := flag.String("pprof", "", "serve /metrics, /events, /spans and /debug/pprof/ on this address while the sweep runs")
 	flag.Parse()
 
-	if err := run(*server, *addrs, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *stallTimeout, *block, *dest, *journal, *fsyncInterval); err != nil {
+	if err := run(*server, *addrs, *sweep, *valuesStr, *perPoint, *concurrency, *parallelism, *pipelining, *metricsOut, *eventsOut, *traceOut, *pprofAddr, *stallTimeout, *block, *dest, *journal, *fsyncInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "xferbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut string, stallTimeout time.Duration, block int, dest string, journal bool, fsyncInterval time.Duration) error {
+func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe int, metricsOut, eventsOut, traceOut, pprofAddr string, stallTimeout time.Duration, block int, dest string, journal bool, fsyncInterval time.Duration) error {
 	values, err := parseValues(valuesStr)
 	if err != nil {
 		return err
@@ -60,6 +63,9 @@ func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe in
 	perPoint, err := cliutil.ParseSize(perPointStr)
 	if err != nil {
 		return err
+	}
+	if traceOut != "" && eventsOut != "" {
+		return fmt.Errorf("-trace and -events both record the event stream; pick one file")
 	}
 
 	client := &proto.Client{Addr: server, StallTimeout: stallTimeout, BlockSize: block}
@@ -74,13 +80,13 @@ func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe in
 		}
 		client.Endpoints = pool
 	}
-	if metricsOut != "" || eventsOut != "" {
+	if metricsOut != "" || eventsOut != "" || traceOut != "" || pprofAddr != "" {
 		reg := obs.NewRegistry()
 		var events *obs.Log
-		if eventsOut != "" {
-			f, err := os.Create(eventsOut)
+		if streamOut := eventsOut + traceOut; streamOut != "" { // at most one is set
+			f, err := os.Create(streamOut)
 			if err != nil {
-				return fmt.Errorf("-events: %w", err)
+				return fmt.Errorf("event stream: %w", err)
 			}
 			// The buffered log owns f: its deferred Close flushes the
 			// tail of the event stream before closing the file.
@@ -91,6 +97,24 @@ func run(server, addrs, sweep, valuesStr, perPointStr string, conc, par, pipe in
 		}
 		client.Metrics = reg
 		client.Events = events
+		var tracer *span.Tracer
+		if traceOut != "" || pprofAddr != "" {
+			tracer = span.NewTracer(reg, events)
+			client.Trace = tracer
+		}
+		if pprofAddr != "" {
+			ms, err := obs.ServeOpts(pprofAddr, obs.HandlerOpts{
+				Registry: reg,
+				Log:      events,
+				Spans:    tracer,
+				Pprof:    true,
+			})
+			if err != nil {
+				return fmt.Errorf("-pprof: %w", err)
+			}
+			defer ms.Close()
+			fmt.Printf("observability on http://%s/metrics, /spans and /debug/pprof/\n", ms.Addr())
+		}
 		sched.SetMetrics(reg)
 		defer sched.SetMetrics(nil)
 		if metricsOut != "" {

@@ -53,16 +53,16 @@ func TestRunSweepTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run(srv.Addr(), "", "concurrency", "1,2", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err != nil {
+	if err := run(srv.Addr(), "", "concurrency", "1,2", "400KB", 1, 1, 2, "", "", "", "", 0, 0, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(srv.Addr(), "", "bogus", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err == nil {
+	if err := run(srv.Addr(), "", "bogus", "1", "400KB", 1, 1, 2, "", "", "", "", 0, 0, "", false, 0); err == nil {
 		t.Error("unknown sweep parameter accepted")
 	}
-	if err := run("127.0.0.1:1", "", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err == nil {
+	if err := run("127.0.0.1:1", "", "concurrency", "1", "400KB", 1, 1, 2, "", "", "", "", 0, 0, "", false, 0); err == nil {
 		t.Error("dead server accepted")
 	}
-	if err := run(srv.Addr(), "", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", true, 0); err == nil {
+	if err := run(srv.Addr(), "", "concurrency", "1", "400KB", 1, 1, 2, "", "", "", "", 0, 0, "", true, 0); err == nil {
 		t.Error("-journal without -dest accepted")
 	}
 }
@@ -80,10 +80,10 @@ func TestRunMultiEndpoint(t *testing.T) {
 	}
 	defer srvB.Close()
 	addrs := srvA.Addr() + "=2," + srvB.Addr()
-	if err := run("ignored:0", addrs, "concurrency", "2", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err != nil {
+	if err := run("ignored:0", addrs, "concurrency", "2", "400KB", 1, 1, 2, "", "", "", "", 0, 0, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("ignored:0", "not-an-endpoint-list=", "concurrency", "1", "400KB", 1, 1, 2, "", "", 0, 0, "", false, 0); err == nil {
+	if err := run("ignored:0", "not-an-endpoint-list=", "concurrency", "1", "400KB", 1, 1, 2, "", "", "", "", 0, 0, "", false, 0); err == nil {
 		t.Error("malformed -addrs accepted")
 	}
 }
@@ -100,7 +100,7 @@ func TestRunJournalModeDeliversAndRetires(t *testing.T) {
 	defer srv.Close()
 	dest := t.TempDir()
 	for i := 0; i < 2; i++ {
-		if err := run(srv.Addr(), "", "concurrency", "1", "2MB", 1, 1, 2, "", "", 0, 0, dest, true, -1); err != nil {
+		if err := run(srv.Addr(), "", "concurrency", "1", "2MB", 1, 1, 2, "", "", "", "", 0, 0, dest, true, -1); err != nil {
 			t.Fatalf("journal run %d: %v", i, err)
 		}
 	}
@@ -130,7 +130,7 @@ func TestRunDumpsMetricsAndEvents(t *testing.T) {
 	dir := t.TempDir()
 	metrics := filepath.Join(dir, "metrics.json")
 	events := filepath.Join(dir, "events.jsonl")
-	if err := run(srv.Addr(), "", "concurrency", "1", "300KB", 1, 1, 2, metrics, events, 2*time.Second, proto.DefaultBlockSize, "", false, 0); err != nil {
+	if err := run(srv.Addr(), "", "concurrency", "1", "300KB", 1, 1, 2, metrics, events, "", "", 2*time.Second, proto.DefaultBlockSize, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 

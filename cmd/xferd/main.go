@@ -20,6 +20,7 @@ import (
 	"github.com/didclab/eta/internal/cliutil"
 	"github.com/didclab/eta/internal/dataset"
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/proto"
 )
 
@@ -39,6 +40,8 @@ func main() {
 	writevBatch := flag.Int("writev-batch", 0, "max blocks gathered into one vectored write on unshaped streams (0 = default 8, 1 disables batching)")
 	crcCache := flag.Bool("crc-cache", true, "cache per-file block CRCs so repeat serves of unchanged files skip re-hashing")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on the first SIGINT/SIGTERM, stop accepting sessions and wait up to this long for in-flight transfers before closing")
+	traceOut := flag.String("trace", "", "record the JSONL event stream with server-side spans to this file (replay with xfertrace)")
+	pprof := flag.Bool("pprof", false, "with -metrics-addr: expose net/http/pprof under /debug/pprof/ on the metrics address")
 	flag.Parse()
 
 	cfg := proto.ServerConfig{
@@ -49,15 +52,40 @@ func main() {
 		DisableCRCCache: !*crcCache,
 		Logf:            log.Printf,
 	}
-	if *metricsAddr != "" {
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("xferd: -trace: %v", err)
+		}
+		// The buffered log owns f: its deferred Close flushes the tail
+		// of the event stream before closing the file.
+		cfg.Events = obs.NewBufferedLog(f, 0)
+		defer cfg.Events.Close()
+	}
+	var tracer *span.Tracer
+	if *metricsAddr != "" || *traceOut != "" {
 		cfg.Metrics = obs.NewRegistry()
-		cfg.Events = obs.NewLog(nil)
-		ms, err := obs.Serve(*metricsAddr, cfg.Metrics, cfg.Events)
+		if cfg.Events == nil {
+			cfg.Events = obs.NewLog(nil)
+		}
+		tracer = span.NewTracer(cfg.Metrics, cfg.Events)
+		cfg.Trace = tracer
+	}
+	if *metricsAddr != "" {
+		ms, err := obs.ServeOpts(*metricsAddr, obs.HandlerOpts{
+			Registry: cfg.Metrics,
+			Log:      cfg.Events,
+			Spans:    tracer,
+			Pprof:    *pprof,
+		})
 		if err != nil {
 			log.Fatalf("xferd: -metrics-addr: %v", err)
 		}
 		defer ms.Close()
-		log.Printf("xferd: observability on http://%s/metrics and /events", ms.Addr())
+		log.Printf("xferd: observability on http://%s/metrics, /events and /spans", ms.Addr())
+		if *pprof {
+			log.Printf("xferd: pprof on http://%s/debug/pprof/", ms.Addr())
+		}
 	}
 	var err error
 	if cfg.PerStreamRate, err = cliutil.ParseRate(*streamRate); err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 )
 
 // forwardChunk is the proxy's forwarding buffer size. Fault offsets are
@@ -29,6 +30,12 @@ type Options struct {
 	// Metrics receives the chaos_faults_injected{kind} counter family;
 	// optional.
 	Metrics *obs.Registry
+	// Trace, when set, roots one chaos_fault span per injected fault.
+	// Instant faults (reset, corrupt, partial) are point spans; stalls,
+	// black-holes and outages span the interval the fault held the
+	// connection (or listener) down, so the flight recorder can overlay
+	// fault windows on the transfer timeline.
+	Trace *span.Tracer
 }
 
 // Proxy forwards TCP to a backend and injects scripted faults into the
@@ -41,6 +48,7 @@ type Proxy struct {
 	listenAt string
 	events   *obs.Log
 	faults   *obs.Family
+	trace    *span.Tracer
 
 	done     chan struct{} // closed by Close; unblocks stalls and black-holes
 	doneOnce sync.Once
@@ -100,6 +108,7 @@ func New(backend string, opts Options) (*Proxy, error) {
 		listenAt: ln.Addr().String(),
 		events:   opts.Events,
 		faults:   opts.Metrics.Family("chaos_faults_injected", "kind"),
+		trace:    opts.Trace,
 		done:     make(chan struct{}),
 		ln:       ln,
 		steps:    steps,
@@ -264,16 +273,20 @@ func (p *Proxy) pipeS2C(pr *pair) {
 			for next < len(steps) && steps[next].At < off+int64(n) {
 				st := steps[next]
 				next++
-				p.record(pr, st, off)
+				fsp := p.record(pr, st, off)
 				switch st.Kind {
 				case Reset:
+					fsp.End()
 					return
 				case Stall, Latency:
-					if !p.pause(pr, st.Duration) {
+					resumed := p.pause(pr, st.Duration)
+					fsp.End("resumed", resumed)
+					if !resumed {
 						return
 					}
 				case Blackhole:
 					p.pause(pr, -1)
+					fsp.End()
 					return
 				case Corrupt:
 					idx := st.At - off
@@ -281,14 +294,18 @@ func (p *Proxy) pipeS2C(pr *pair) {
 						idx = 0
 					}
 					chunk[idx] ^= 0xFF
+					fsp.End()
 				case Partial:
 					if half := len(chunk) / 2; half > 0 {
 						_, _ = pr.client.Write(chunk[:half])
 					}
+					fsp.End()
 					return
 				case Outage:
-					p.beginOutage(st.Duration)
+					p.beginOutage(st.Duration, fsp)
 					return
+				default:
+					fsp.End()
 				}
 			}
 			if _, werr := pr.client.Write(chunk); werr != nil {
@@ -320,10 +337,13 @@ func (p *Proxy) pause(pr *pair, d time.Duration) bool {
 }
 
 // beginOutage takes the whole proxy down (listener and connections) and
-// schedules the listener's return after d.
-func (p *Proxy) beginOutage(d time.Duration) {
+// schedules the listener's return after d. The fault span (nil when
+// untraced) stays open until the listener is back — its duration IS the
+// outage window.
+func (p *Proxy) beginOutage(d time.Duration, fsp *span.Span) {
 	p.Stop()
 	if d <= 0 {
+		fsp.End("restored", false)
 		return
 	}
 	p.wg.Add(1)
@@ -332,21 +352,28 @@ func (p *Proxy) beginOutage(d time.Duration) {
 		select {
 		case <-time.After(d):
 			_ = p.Restart()
+			fsp.End("restored", true)
 		case <-p.done:
+			fsp.End("restored", false)
 		}
 	}()
 }
 
-// record books one injected fault in the counters, metrics and journal.
-func (p *Proxy) record(pr *pair, st Step, off int64) {
+// record books one injected fault in the counters, metrics and journal,
+// and opens its chaos_fault span (nil when untraced); the caller ends
+// it when the fault's effect has run its course.
+func (p *Proxy) record(pr *pair, st Step, off int64) *span.Span {
 	p.mu.Lock()
 	p.injected[st.Kind]++
 	p.mu.Unlock()
 	p.faults.With(string(st.Kind)).Inc()
+	fsp := p.trace.Root(span.NameChaosFault,
+		"kind", string(st.Kind), "conn", pr.idx, "at", st.At)
 	p.events.Emit(obs.EvFaultInjected,
 		"kind", string(st.Kind),
 		"conn", pr.idx,
 		"at", st.At,
 		"stream_off", off,
 		"duration_ms", st.Duration.Milliseconds())
+	return fsp
 }

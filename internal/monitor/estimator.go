@@ -6,6 +6,7 @@ import (
 
 	"github.com/didclab/eta/internal/endsys"
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/power"
 	"github.com/didclab/eta/internal/units"
 )
@@ -48,6 +49,10 @@ type ModelSource struct {
 	// Events, when set, receives an energy_model_sample event per
 	// booked interval. Write-only: the estimate never depends on it.
 	Events *obs.Log
+	// Trace, when set, receives the cumulative total as an EnergySample
+	// per booked interval, keeping span joules estimates current at the
+	// model's own sampling cadence. Write-only, like Events.
+	Trace *span.Tracer
 
 	mu       sync.Mutex
 	now      Clock
@@ -98,6 +103,7 @@ func (s *ModelSource) Total() (units.Joules, error) {
 			}
 			w := s.model.Power(u, procs)
 			s.meter.Add(w, dt)
+			s.Trace.EnergySample(float64(s.meter.Total()))
 			s.Events.Emit(obs.EvEnergyModel,
 				"joules_total", float64(s.meter.Total()),
 				"watts", float64(w),

@@ -35,6 +35,8 @@ const (
 	EvServerDraining      = "server_draining"
 	EvServerDrained       = "server_drained"
 	EvRecoveryPlanned     = "recovery_planned"
+	EvSpanBegin           = "span_begin"
+	EvSpanEnd             = "span_end"
 )
 
 // DefaultRingSize is how many recent events a Log retains for Tail.
@@ -58,7 +60,12 @@ type Log struct {
 	next       int
 	full       bool
 	seq        uint64
-	writeErr   error
+	// dropped counts events overwritten out of the ring — the tail a
+	// /events consumer can no longer fetch. Mirrored into dropCounter
+	// (the registry's events_dropped) when one is attached.
+	dropped     uint64
+	dropCounter *Counter
+	writeErr    error
 }
 
 // NewLog returns a log retaining DefaultRingSize events, streaming each
@@ -174,6 +181,13 @@ func (l *Log) Emit(typ string, kv ...any) {
 	}
 	b.WriteString("}\n")
 	line := append([]byte(nil), b.Bytes()...)
+	if l.full {
+		// The slot being written still holds the oldest retained event;
+		// overwriting it is a drop from the tail consumers can resume
+		// from (the streamed writer, if any, already has it).
+		l.dropped++
+		l.dropCounter.Inc()
+	}
 	l.ring[l.next] = line
 	l.next++
 	if l.next == len(l.ring) {
@@ -209,6 +223,69 @@ func (l *Log) Tail(n int) [][]byte {
 		out[i] = append([]byte(nil), line...)
 	}
 	return out
+}
+
+// TailSince returns copies of the retained event lines with sequence
+// numbers strictly greater than since, capped at the most recent n
+// (n <= 0 means no cap), plus how many requested events were already
+// overwritten out of the ring — the consumer's gap. A consumer that
+// remembers the last seq it saw calls TailSince(lastSeq, 0) to resume
+// the stream and learns exactly what it lost instead of silently
+// re-reading a truncated head.
+func (l *Log) TailSince(since uint64, n int) (lines [][]byte, missed uint64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var all [][]byte
+	if l.full {
+		all = append(all, l.ring[l.next:]...)
+	}
+	all = append(all, l.ring[:l.next]...)
+	// Retained lines carry seqs (l.seq-len(all), l.seq] in order.
+	firstSeq := l.seq - uint64(len(all)) + 1
+	if since+1 < firstSeq {
+		missed = firstSeq - since - 1
+	}
+	if since >= firstSeq-1 {
+		skip := since - (firstSeq - 1)
+		if skip >= uint64(len(all)) {
+			all = nil
+		} else {
+			all = all[skip:]
+		}
+	}
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	lines = make([][]byte, len(all))
+	for i, line := range all {
+		lines[i] = append([]byte(nil), line...)
+	}
+	return lines, missed
+}
+
+// Dropped returns how many events have been overwritten out of the
+// ring so far.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// SetDropCounter mirrors future ring drops into c (typically the
+// registry's events_dropped counter, wired by the HTTP handler).
+func (l *Log) SetDropCounter(c *Counter) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.dropCounter = c
+	l.mu.Unlock()
 }
 
 // Seq returns how many events were ever emitted.

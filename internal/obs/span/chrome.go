@@ -1,0 +1,134 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// JSON helpers for the loosely-typed event lines.
+
+func str(ev map[string]any, key string) string {
+	s, _ := ev[key].(string)
+	return s
+}
+
+func f64(ev map[string]any, key string) float64 {
+	f, _ := ev[key].(float64)
+	return f
+}
+
+func u64(ev map[string]any, key string) uint64 {
+	f, ok := ev[key].(float64)
+	if !ok || f < 0 {
+		return 0
+	}
+	return uint64(f)
+}
+
+// evTime parses an event's "t" timestamp (RFC3339Nano, the obs.Log
+// stamp format).
+func evTime(ev map[string]any) (time.Time, error) {
+	raw, _ := ev["t"].(string)
+	t, err := time.Parse(time.RFC3339Nano, raw)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad event timestamp %q: %w", raw, err)
+	}
+	return t, nil
+}
+
+// spanEventKeys are the envelope keys of span_begin/span_end events;
+// everything else on the line is a caller attr.
+var spanEventKeys = map[string]bool{
+	"seq": true, "t": true, "type": true,
+	"trace": true, "span": true, "parent": true, "name": true,
+	"dur_ms": true, "bytes": true, "joules": true,
+}
+
+func extraAttrs(ev map[string]any) map[string]any {
+	var attrs map[string]any
+	for k, v := range ev {
+		if spanEventKeys[k] {
+			continue
+		}
+		if attrs == nil {
+			attrs = make(map[string]any)
+		}
+		attrs[k] = v
+	}
+	return attrs
+}
+
+// chromeEvent is one Chrome trace-event (the "X" complete-event form
+// chrome://tracing and Perfetto load directly).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds from the capture epoch
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the forest in Chrome trace-event JSON.
+// Traces map to tids (one lane per trace), timestamps are microseconds
+// relative to the earliest span start, and each event's args carry the
+// span's bytes and both energy figures. Open spans are exported with
+// zero duration so a leaked span is still visible on the timeline.
+func WriteChromeTrace(w io.Writer, f *Forest) error {
+	if f == nil || len(f.ByID) == 0 {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	ids := make([]uint64, 0, len(f.ByID))
+	var epoch time.Time
+	for id, rec := range f.ByID {
+		ids = append(ids, id)
+		if epoch.IsZero() || rec.Start.Before(epoch) {
+			epoch = rec.Start
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	tids := make(map[string]int)
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(ids))}
+	for _, id := range ids {
+		rec := f.ByID[id]
+		tid, ok := tids[rec.Trace]
+		if !ok {
+			tid = len(tids) + 1
+			tids[rec.Trace] = tid
+		}
+		ev := chromeEvent{
+			Name: rec.Name,
+			Cat:  rec.Trace,
+			Ph:   "X",
+			TS:   float64(rec.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  rec.DurMS * 1000,
+			PID:  1,
+			TID:  tid,
+			Args: map[string]any{
+				"span":        rec.ID,
+				"parent":      rec.Parent,
+				"bytes":       rec.Bytes,
+				"joules":      rec.Joules,
+				"self_joules": rec.SelfJoules,
+			},
+		}
+		if rec.Open {
+			ev.Dur = 0
+			ev.Args["leaked"] = true
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

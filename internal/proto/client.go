@@ -14,6 +14,7 @@ import (
 
 	"github.com/didclab/eta/internal/dataset"
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/units"
 )
 
@@ -87,12 +88,27 @@ type Client struct {
 	Metrics *obs.Registry
 	// Events receives structured transfer events; optional.
 	Events *obs.Log
+	// Trace, when set, opens a channel span (with dial/stream/GET child
+	// spans) per OpenChannel. Channels opened while an executor session
+	// is running parent under its transfer root; standalone channels
+	// start their own trace.
+	Trace *span.Tracer
+
+	// traceParent is the span new channels parent under (the executor's
+	// transfer root while a session runs; nil otherwise).
+	traceParent atomic.Pointer[span.Span]
 
 	instOnce sync.Once
 	inst     clientInstruments
 
 	epOnce sync.Once
 	epPool *EndpointPool
+}
+
+// setTraceParent installs (or, with nil, clears) the span that channels
+// opened from now on parent under.
+func (c *Client) setTraceParent(sp *span.Span) {
+	c.traceParent.Store(sp)
 }
 
 // pool returns the client's endpoint pool, lazily building a
@@ -272,6 +288,9 @@ type Channel struct {
 	inst   *clientInstruments
 	ep     int    // endpoint pool index this channel is placed on
 	epAddr string // the endpoint's address
+	// span covers the channel's whole lifetime (dial through Close);
+	// nil when untraced.
+	span *span.Span
 
 	streams []net.Conn
 
@@ -295,6 +314,7 @@ type pendingGet struct {
 	length   int64
 	issued   time.Time
 	sink     Sink
+	span     *span.Span // issue → settle; nil when untraced
 	received atomic.Int64
 	ctrlDone chan struct{} // DONE/ERR line arrived
 	dataDone chan struct{} // all payload bytes arrived
@@ -388,10 +408,18 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 	}
 	pool := c.pool()
 	ep, addr := pool.Pick()
+	// The channel span runs dial through Close; the dial child covers
+	// just the handshake (ctrl dial, HELLO, DATA streams, OPEN). A
+	// channel opened outside an executor session roots its own trace.
+	chSpan := c.Trace.StartChild(c.traceParent.Load(), span.NameChannel,
+		"endpoint", ep, "addr", addr, "parallelism", parallelism)
+	dialSpan := chSpan.Child(span.NameChannelDial)
 	// openFail books an endpoint-open failure exactly once per path.
 	openFail := func(err error) error {
 		pool.ReportFailure(ep, err)
 		c.instruments().dialFailsByEP.With(endpointLabel(ep)).Inc()
+		dialSpan.End("error", err.Error())
+		chSpan.End("error", err.Error())
 		return err
 	}
 	ctrl, err := c.dial(addr)
@@ -404,6 +432,7 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 		inst:    c.instruments(),
 		ep:      ep,
 		epAddr:  addr,
+		span:    chSpan,
 		pending: make(map[uint32]*pendingGet),
 	}
 	// Every connection reads through a progress counter so the stall
@@ -494,6 +523,7 @@ func (c *Client) OpenChannel(parallelism int) (*Channel, error) {
 		go ch.watchdog(c.StallTimeout)
 	}
 	pool.ReportSuccess(ep)
+	dialSpan.End("sid", sid)
 	ch.inst.channelsDialed.Inc()
 	ch.inst.dialsByEndpoint.With(endpointLabel(ep)).Inc()
 	c.Events.Emit(obs.EvChannelDialed, "sid", sid, "parallelism", parallelism, "endpoint", ep, "addr", addr)
@@ -546,6 +576,10 @@ func (ch *Channel) controlLoop() {
 
 func (ch *Channel) streamLoop(conn net.Conn) {
 	defer ch.wg.Done()
+	// One stream span per read loop: its bytes are the stream's share of
+	// the channel's payload, its duration the stream's useful lifetime.
+	ssp := ch.span.Child(span.NameChannelStream)
+	defer ssp.End()
 	// The read buffer matches the expected block size so a full block
 	// (header + payload) is absorbed in a couple of reads instead of
 	// fragmenting across many smaller ones.
@@ -601,6 +635,8 @@ func (ch *Channel) streamLoop(conn net.Conn) {
 			ch.client.Counters.AddBytes(int64(h.Length))
 		}
 		ch.inst.bytesReceived.Add(int64(h.Length))
+		ssp.AddBytes(int64(h.Length))
+		p.span.AddBytes(int64(h.Length))
 		p.addBytes(int64(h.Length))
 	}
 }
@@ -648,6 +684,8 @@ func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
 		ctrlDone: make(chan struct{}),
 		dataDone: make(chan struct{}),
 	}
+	p.span = ch.span.Child(span.NameGet,
+		"file", r.File.Name, "offset", p.offset, "length", p.length)
 	if p.length == 0 {
 		p.dataOnce.Do(func() { close(p.dataDone) })
 	}
@@ -662,6 +700,7 @@ func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
 	if pa, ok := sink.(Preallocator); ok && p.length > 0 {
 		if err := pa.Preallocate(p.name, int64(r.File.Size)); err != nil {
 			ch.release(p)
+			p.span.End("error", err.Error())
 			return nil, err
 		}
 	}
@@ -671,6 +710,7 @@ func (ch *Channel) get(r FileRange, sink Sink) (*pendingGet, error) {
 		ch.mu.Lock()
 		delete(ch.pending, id)
 		ch.mu.Unlock()
+		p.span.End("error", err.Error())
 		return nil, err
 	}
 	ch.inst.getsIssued.Inc()
@@ -706,12 +746,14 @@ func (ch *Channel) finish(p *pendingGet) error {
 	ms := float64(time.Since(p.issued)) / float64(time.Millisecond)
 	if err != nil {
 		ch.inst.getsFailed.Inc()
+		p.span.End("error", err.Error())
 		ch.client.Events.Emit(obs.EvGetSettled,
 			"sid", ch.sid, "file", p.name, "bytes", p.length, "ms", ms, "error", err.Error())
 		return err
 	}
 	ch.inst.getsSettled.Inc()
 	ch.inst.settleMS.Observe(ms)
+	p.span.End()
 	ch.client.Events.Emit(obs.EvGetSettled,
 		"sid", ch.sid, "file", p.name, "bytes", p.length, "ms", ms)
 	return nil
@@ -789,7 +831,12 @@ func (ch *Channel) Close() error {
 	for _, p := range pend {
 		p.finishCtrl(0, fmt.Errorf("proto: channel closed"))
 		p.dataOnce.Do(func() { close(p.dataDone) })
+		// End is idempotent, so a racing finish() on the settle path is
+		// harmless; without this, a GET abandoned at teardown would leak
+		// its span.
+		p.span.End("error", "channel closed")
 	}
 	ch.wg.Wait()
+	ch.span.End()
 	return err
 }

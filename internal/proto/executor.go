@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/transfer"
 	"github.com/didclab/eta/internal/units"
 )
@@ -63,6 +64,12 @@ type Executor struct {
 	// Events receives the structured transfer event log; optional.
 	// Propagated to the Client when its own Events is unset.
 	Events *obs.Log
+	// Trace, when set, opens one root span per Start (Run and Resume
+	// both land here) with child spans per chunk, channel, GET, retry
+	// and journal flush, each carrying bytes and an online joules
+	// estimate. Propagated to the Client (and the client's Journal)
+	// when their own tracers are unset.
+	Trace *span.Tracer
 }
 
 // redialBackoffCap bounds the exponential backoff between re-dial
@@ -117,6 +124,9 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 	if e.Client.Events == nil {
 		e.Client.Events = e.Events
 	}
+	if e.Client.Trace == nil {
+		e.Client.Trace = e.Trace
+	}
 	s := &realSession{
 		exec:     e,
 		ctx:      ctx,
@@ -133,9 +143,27 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 		// Run on the same Executor must not report the first run's bytes.
 		baseBytes: e.Client.Counters.Bytes(),
 	}
+	// Prime the energy source so the first window is measured, and seed
+	// the tracer's online energy estimator with the primed total so the
+	// root span's baseline is the transfer's start, not zero.
+	primed, err := energy.Total()
+	if err != nil {
+		return nil, fmt.Errorf("proto: energy source unusable: %w", err)
+	}
+	e.Trace.EnergySample(float64(primed))
+	s.root = e.Trace.Root(span.NameTransfer,
+		"label", e.Label,
+		"chunks", len(plan.Chunks),
+		"channels", plan.TotalChannels(),
+		"resume", e.Resume != nil)
+	e.Client.setTraceParent(s.root)
+	if e.Client.Journal != nil {
+		e.Client.Journal.setTraceParent(e.Trace, s.root)
+	}
 	for i := range plan.Chunks {
 		cp := plan.Chunks[i]
 		rc := &realChunk{plan: cp, idx: i}
+		rc.span = s.root.Child(span.NameChunk, "chunk", i, "files", len(cp.Chunk.Files))
 		for _, f := range cp.Chunk.Files {
 			var frs []FileRange
 			if e.Resume != nil {
@@ -166,10 +194,6 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 		}
 		s.chunks = append(s.chunks, rc)
 	}
-	// Prime the energy source so the first window is measured.
-	if _, err := energy.Total(); err != nil {
-		return nil, fmt.Errorf("proto: energy source unusable: %w", err)
-	}
 	// A fully-resumed plan has nothing left to move.
 	s.signalDoneIfComplete()
 	var targets []int
@@ -193,6 +217,7 @@ func (e *Executor) Start(ctx context.Context, plan transfer.Plan) (transfer.Sess
 	}
 	if err := s.reconcile(targets); err != nil {
 		s.stopAll()
+		s.endSpans(err)
 		return nil, err
 	}
 	s.inst.transfersStarted.Inc()
@@ -234,6 +259,10 @@ func newExecInstruments(r *obs.Registry) execInstruments {
 type realChunk struct {
 	plan transfer.ChunkPlan
 	idx  int // position in the plan, for event labels
+	// span covers the chunk from Start to Finish (a chunk has no
+	// earlier natural drain moment: ranges can requeue into it until
+	// the session settles); nil when untraced.
+	span *span.Span
 
 	mu      sync.Mutex
 	queue   []queuedRange
@@ -333,6 +362,12 @@ type realSession struct {
 	retries atomic.Int64
 	files   atomic.Int64
 
+	// root is the transfer's root span (nil when untraced); spansOnce
+	// makes endSpans idempotent across the Start-failure and Finish
+	// paths.
+	root      *span.Span
+	spansOnce sync.Once
+
 	lastBytes  units.Bytes
 	lastEnergy units.Joules
 	elapsed    time.Duration
@@ -340,17 +375,45 @@ type realSession struct {
 }
 
 // retryConsumed books one unit of retry budget: a failed GET, a window
-// requeue after a transport error, or a failed re-dial attempt.
+// requeue after a transport error, or a failed re-dial attempt. Each
+// consumption is also a point span (begin and end at the same instant)
+// so the flight recorder can place every retry on the timeline by
+// cause.
 func (s *realSession) retryConsumed(cause, file string, attempt int, err error) {
 	s.retries.Add(1)
 	s.inst.retriesTotal.Inc()
 	s.inst.retriesByCause.With(cause).Inc()
+	s.root.Child(span.NameRetry, "cause", cause, "file", file, "attempt", attempt).
+		End("error", fmt.Sprint(err))
 	s.events.Emit(obs.EvRetryConsumed,
 		"cause", cause,
 		"file", file,
 		"attempt", attempt,
 		"budget", s.exec.MaxRetries,
 		"error", fmt.Sprint(err))
+}
+
+// endSpans finishes the session's chunk spans and root span exactly
+// once, stamping the final joules estimate (Report.EnergyJoules reads
+// the root's estimate just before this).
+func (s *realSession) endSpans(cause error) {
+	s.spansOnce.Do(func() {
+		// Detach the client and journal first: channels dialed or flushes
+		// committed after this session must not parent under a root that
+		// is about to end.
+		s.exec.Client.setTraceParent(nil)
+		if s.exec.Client.Journal != nil {
+			s.exec.Client.Journal.setTraceParent(s.exec.Trace, nil)
+		}
+		for _, rc := range s.chunks {
+			rc.span.End()
+		}
+		if cause != nil {
+			s.root.End("error", cause.Error())
+		} else {
+			s.root.End()
+		}
+	})
 }
 
 // reconcile adjusts live workers per chunk to the target allocation.
@@ -447,8 +510,14 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 		s.exec.Client.pool().ReportFailure(ch.Endpoint(), cause)
 		ch.Close()
 		ch = nil
+		// The redial span covers the whole backoff loop: its duration is
+		// the worker's dead time, the interval a tuner would read as
+		// "bytes stalled on recovery".
+		rsp := s.root.Child(span.NameChannelRedial,
+			"chunk", w.chunk.idx, "cause", fmt.Sprint(cause))
 		if !requeueWindow(cause) {
 			s.fail(fmt.Errorf("proto: transfer failed after %d retries: %w", s.exec.MaxRetries, cause))
+			rsp.End("error", "retry budget exhausted")
 			return false
 		}
 		backoff := 5 * time.Millisecond
@@ -457,6 +526,7 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 			if err == nil {
 				ch = next
 				s.inst.channelsRedialed.Inc()
+				rsp.End("failed_attempts", w.redials)
 				s.events.Emit(obs.EvChannelRedialed,
 					"chunk", w.chunk.idx,
 					"failed_attempts", w.redials,
@@ -469,15 +539,18 @@ func (s *realSession) runWorker(w *realWorker, ch *Channel) {
 			s.retryConsumed("redial", "", w.redials, err)
 			if w.redials > s.exec.MaxRetries {
 				s.fail(fmt.Errorf("proto: re-dialing after %v: %w", cause, err))
+				rsp.End("error", err.Error())
 				return false
 			}
 			select {
 			case <-w.stop:
 				// Teardown while the server is unreachable: the window
 				// is already requeued for other workers; just exit.
+				rsp.End("error", "worker stopped")
 				return false
 			case <-s.ctxDone():
 				s.fail(s.ctx.Err())
+				rsp.End("error", s.ctx.Err().Error())
 				return false
 			case <-time.After(backoff):
 			}
@@ -704,6 +777,7 @@ func (s *realSession) Advance(d time.Duration) (transfer.Sample, error) {
 	if eErr != nil {
 		return transfer.Sample{}, eErr
 	}
+	s.exec.Trace.EnergySample(float64(energy))
 	sample := transfer.Sample{
 		Start:           winStart,
 		Duration:        now - s.elapsed,
@@ -831,6 +905,7 @@ func (s *realSession) Finish() (transfer.Report, error) {
 	s.stopAll()
 	s.wg.Wait()
 	if err := s.err(); err != nil {
+		s.endSpans(err)
 		return transfer.Report{}, err
 	}
 	// doneAt is safe to read here: it was written before doneCh closed
@@ -842,8 +917,18 @@ func (s *realSession) Finish() (transfer.Report, error) {
 	bytes := s.sessionBytes()
 	energy, err := s.energy.Total()
 	if err != nil {
+		s.endSpans(err)
 		return transfer.Report{}, err
 	}
+	// Push the final cumulative sample before ending the spans so the
+	// root span's joules estimate closes against the source's actual
+	// final total rather than an extrapolation.
+	s.exec.Trace.EnergySample(float64(energy))
+	joules := s.root.Joules()
+	if s.root == nil {
+		joules = float64(energy)
+	}
+	s.endSpans(nil)
 	s.mu.Lock()
 	s.finished = true
 	s.mu.Unlock()
@@ -856,6 +941,7 @@ func (s *realSession) Finish() (transfer.Report, error) {
 		Files:           s.files.Load(),
 		Retries:         s.retries.Load(),
 		EndSystemEnergy: energy,
+		EnergyJoules:    joules,
 		AvgPower:        units.Power(energy, duration),
 		Samples:         s.samples,
 	}

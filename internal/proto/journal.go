@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 )
 
 // Write-ahead receipt journal. Preallocation (store.go) makes an
@@ -100,6 +101,24 @@ type Journal struct {
 
 	appends *obs.Counter
 	fsyncs  *obs.Counter
+
+	// trace/parent make each dirty group-commit a journal_flush span
+	// under the running transfer's root. Guarded by mu (set by the
+	// executor at Start, read by the flusher goroutine).
+	trace  *span.Tracer
+	parent *span.Span
+}
+
+// setTraceParent attaches the journal's flush spans to a transfer's
+// root span (executor wiring; same package, so unexported).
+func (j *Journal) setTraceParent(t *span.Tracer, parent *span.Span) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.trace = t
+	j.parent = parent
+	j.mu.Unlock()
 }
 
 // OpenJournal opens (creating if needed) the receipt journal at path
@@ -223,20 +242,30 @@ func (j *Journal) syncLocked() error {
 	if !j.dirty {
 		return j.err
 	}
+	// Only dirty commits get a span, and only while a transfer owns the
+	// journal: the idle ticker path above costs nothing, and a post-
+	// session flush (Close) should not mint a lone root trace.
+	var fsp *span.Span
+	if j.parent != nil {
+		fsp = j.trace.StartChild(j.parent, span.NameJournalFlush)
+	}
 	if err := j.bw.Flush(); err != nil {
 		if j.err == nil {
 			j.err = err
 		}
+		fsp.End("error", err.Error())
 		return j.err
 	}
 	if err := j.f.Sync(); err != nil {
 		if j.err == nil {
 			j.err = err
 		}
+		fsp.End("error", err.Error())
 		return j.err
 	}
 	j.dirty = false
 	j.fsyncs.Inc()
+	fsp.End()
 	return j.err
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/didclab/eta/internal/obs"
+	"github.com/didclab/eta/internal/obs/span"
 	"github.com/didclab/eta/internal/units"
 )
 
@@ -25,6 +26,11 @@ type ServerConfig struct {
 	// Events receives structured server events (session_opened,
 	// get_served, ...); optional.
 	Events *obs.Log
+	// Trace, when set, roots one server_session span per control
+	// session, with server_get and server_stream children. In a loopback
+	// run it may share the client's tracer and event log; span IDs are
+	// process-global, so the two sides cannot collide.
+	Trace *span.Tracer
 	// PerStreamRate caps each data stream (the stand-in for the TCP
 	// window limit); zero means unlimited.
 	PerStreamRate units.Rate
@@ -352,6 +358,10 @@ type serverSession struct {
 
 	reqs   chan getRequest
 	closed atomic.Bool
+
+	// span roots the session's trace (server_session); nil when the
+	// server is untraced.
+	span *span.Span
 }
 
 func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
@@ -382,6 +392,8 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 	s.sessions[sess.sid] = sess
 	s.mu.Unlock()
 	s.inst.sessionsTotal.Inc()
+	sess.span = s.cfg.Trace.Root(span.NameServerSession,
+		"sid", sess.sid, "remote", conn.RemoteAddr().String())
 	s.cfg.Events.Emit(obs.EvSessionOpened, "sid", sess.sid, "remote", conn.RemoteAddr().String())
 
 	defer func() {
@@ -389,6 +401,7 @@ func (s *Server) runControl(conn net.Conn, br *bufio.Reader) {
 		delete(s.sessions, sess.sid)
 		s.mu.Unlock()
 		sess.close()
+		sess.span.End()
 		s.cfg.Events.Emit(obs.EvSessionClosed, "sid", sess.sid)
 	}()
 
@@ -571,9 +584,12 @@ func (sess *serverSession) streams() []net.Conn {
 func (sess *serverSession) serveLoop(doneQueue *delayQueue[string]) {
 	for req := range sess.reqs {
 		start := time.Now()
-		if err := sess.serveGet(req, doneQueue); err != nil {
+		gsp := sess.span.Child(span.NameServerGet,
+			"id", req.ID, "file", req.Name, "offset", req.Offset, "length", req.Length)
+		if err := sess.serveGet(req, gsp, doneQueue); err != nil {
 			sess.srv.cfg.logf("proto: session %d GET %d (%s): %v", sess.sid, req.ID, req.Name, err)
 			sess.srv.inst.requestsFailed.Inc()
+			gsp.End("error", err.Error())
 			sess.srv.cfg.Events.Emit(obs.EvGetServed,
 				"sid", sess.sid, "id", req.ID, "file", req.Name, "error", err.Error())
 			doneQueue.Push(fmt.Sprintf("%s %d %v\n", respErr, req.ID, err))
@@ -581,6 +597,8 @@ func (sess *serverSession) serveLoop(doneQueue *delayQueue[string]) {
 		}
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
 		sess.srv.inst.serveMS.Observe(ms)
+		gsp.AddBytes(req.Length)
+		gsp.End()
 		sess.srv.cfg.Events.Emit(obs.EvGetServed,
 			"sid", sess.sid, "id", req.ID, "file", req.Name, "bytes", req.Length, "ms", ms)
 	}
@@ -621,7 +639,7 @@ func collectBatch(q <-chan queuedBlock, batch []queuedBlock, max int) ([]queuedB
 	return batch, true
 }
 
-func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string]) error {
+func (sess *serverSession) serveGet(req getRequest, gsp *span.Span, doneQueue *delayQueue[string]) error {
 	streams := sess.streams()
 	if len(streams) == 0 {
 		return fmt.Errorf("no data streams attached")
@@ -655,6 +673,8 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			ssp := gsp.Child(span.NameServerStream, "stream", i)
+			defer ssp.End()
 			perStream := NewLimiter(sess.srv.cfg.PerStreamRate)
 			var dst io.Writer = streams[i]
 			if t := sess.srv.cfg.StallTimeout; t > 0 {
@@ -679,11 +699,12 @@ func (sess *serverSession) serveGet(req getRequest, doneQueue *delayQueue[string
 						scratch = append(scratch, h, *b.buf)
 					}
 					bufs = scratch
-					if _, err := w.WriteBuffers(&bufs); err != nil {
+					if n, err := w.WriteBuffers(&bufs); err != nil {
 						errs[i] = err
 					} else {
 						sess.srv.inst.writevBatches.Inc()
 						sess.srv.inst.writevBlocks.Add(int64(len(batch)))
+						ssp.AddBytes(n)
 					}
 				}
 				for _, b := range batch {

@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-ProtoLoopback|LoopbackVectored|LoopbackMultiEndpoint|LoopbackJournal}"
+pattern="${BENCH_PATTERN:-ProtoLoopback|LoopbackVectored|LoopbackMultiEndpoint|LoopbackJournal|LoopbackTraced}"
 tolerance="${BENCH_TOLERANCE_PCT:-15}"
 baseline="results/bench_baseline.json"
 

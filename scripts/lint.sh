@@ -48,15 +48,30 @@ if [ -n "$bad_deps" ]; then
     exit 1
 fi
 
-echo "== chaos dependency audit (stdlib + internal/obs only)"
+echo "== span dependency audit (stdlib + internal/obs only)"
+# The tracing layer inherits the obs rules: spans ride the obs event
+# stream and registry, and nothing else — so every layer (chaos
+# included) can adopt tracing without new edges.
+bad_deps="$(go list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./internal/obs/span \
+    | grep -v '^$' \
+    | grep -v '^github.com/didclab/eta/internal/obs$' \
+    | grep -v '^github.com/didclab/eta/internal/obs/span$' || true)"
+if [ -n "$bad_deps" ]; then
+    echo "internal/obs/span must only depend on the stdlib and internal/obs, found:" >&2
+    echo "$bad_deps" >&2
+    exit 1
+fi
+
+echo "== chaos dependency audit (stdlib + obs/span only)"
 # The fault-injection package must stay import-light so any test layer
 # can wrap a connection in it without dragging in the transfer stack.
 bad_deps="$(go list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./internal/chaos \
     | grep -v '^$' \
     | grep -v '^github.com/didclab/eta/internal/chaos$' \
-    | grep -v '^github.com/didclab/eta/internal/obs$' || true)"
+    | grep -v '^github.com/didclab/eta/internal/obs$' \
+    | grep -v '^github.com/didclab/eta/internal/obs/span$' || true)"
 if [ -n "$bad_deps" ]; then
-    echo "internal/chaos must only depend on the stdlib and internal/obs, found:" >&2
+    echo "internal/chaos must only depend on the stdlib, internal/obs and internal/obs/span, found:" >&2
     echo "$bad_deps" >&2
     exit 1
 fi
@@ -67,7 +82,7 @@ echo "== proto dependency audit (stdlib + first-party allowlist)"
 # and a third-party dependency creeping in here would be the first place
 # supply-chain risk meets every byte transferred. The allowlist is the
 # current closure; extending it is a reviewed decision, not an accident.
-proto_allow='^github.com/didclab/eta/internal/(proto|obs|units|dataset|transfer|endsys|netem|power|netpower|testbed)$'
+proto_allow='^github.com/didclab/eta/internal/(proto|obs|obs/span|units|dataset|transfer|endsys|netem|power|netpower|testbed)$'
 bad_deps="$(go list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./internal/proto \
     | grep -v '^$' | grep -Ev "$proto_allow" || true)"
 if [ -n "$bad_deps" ]; then
